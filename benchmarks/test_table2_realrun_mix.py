@@ -1,0 +1,23 @@
+"""Table 2 — application mix of the real-run workload.
+
+Checks that the generated workload 5 reproduces the paper's application
+shares (PILS 30.5%, STREAM 30.8%, CoreNeuron 35.5%, NEST 2.6%, Alya 0.6%).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once, save_artifact
+from repro.experiments.paper import table_2_application_mix
+from repro.workloads.applications import APPLICATION_MIX
+
+
+def test_table2_application_mix(benchmark):
+    result = run_once(benchmark, lambda: table_2_application_mix(scale=1.0))
+    save_artifact("table2_application_mix", result.text)
+    shares = result.data["shares"]
+    expected = {m.name: m.share for m in APPLICATION_MIX}
+    for app, share in expected.items():
+        assert shares.get(app, 0.0) == pytest.approx(share, abs=0.06), app
+    assert result.data["num_jobs"] == 2000

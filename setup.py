@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments whose setuptools lacks the ``wheel`` package (legacy
+``setup.py develop`` path via ``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

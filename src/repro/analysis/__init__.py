@@ -1,0 +1,16 @@
+"""Analysis helpers: comparisons against the static baseline, text tables
+and text figures used to regenerate the paper's tables and figures."""
+
+from repro.analysis.comparison import improvement_percent, normalize_to_baseline
+from repro.analysis.figures import render_bar_chart, render_heatmap, render_series
+from repro.analysis.tables import format_table, metrics_table
+
+__all__ = [
+    "format_table",
+    "improvement_percent",
+    "metrics_table",
+    "normalize_to_baseline",
+    "render_bar_chart",
+    "render_heatmap",
+    "render_series",
+]

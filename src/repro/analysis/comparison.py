@@ -1,0 +1,70 @@
+"""Comparisons against the static backfill baseline.
+
+The paper's Figures 1–3 and 8–9 report every metric *normalised to the
+static backfill simulation* (values below 1.0 are improvements) or as an
+*improvement percentage*.  These helpers implement exactly those two
+transformations for :class:`repro.metrics.aggregates.WorkloadMetrics`
+objects or plain dicts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Union
+
+from repro.metrics.aggregates import WorkloadMetrics
+
+MetricsLike = Union[WorkloadMetrics, Mapping[str, float]]
+
+#: Metrics where lower is better (everything the paper normalises).
+LOWER_IS_BETTER = (
+    "makespan",
+    "avg_response_time",
+    "avg_wait_time",
+    "avg_slowdown",
+    "avg_bounded_slowdown",
+    "median_slowdown",
+    "p95_slowdown",
+    "energy_joules",
+)
+
+
+def _as_dict(metrics: MetricsLike) -> Dict[str, float]:
+    if isinstance(metrics, WorkloadMetrics):
+        return metrics.as_dict()
+    return dict(metrics)
+
+
+def normalize_to_baseline(
+    metrics: MetricsLike,
+    baseline: MetricsLike,
+    keys: tuple = ("makespan", "avg_response_time", "avg_slowdown"),
+) -> Dict[str, float]:
+    """Metric / baseline-metric for the requested keys (paper Figs. 1-3, 8).
+
+    A value of 0.3 for ``avg_slowdown`` means the policy achieved 30% of the
+    baseline's average slowdown, i.e. a 70% reduction.
+    """
+    m = _as_dict(metrics)
+    b = _as_dict(baseline)
+    out: Dict[str, float] = {}
+    for key in keys:
+        base = b.get(key, 0.0)
+        if base == 0:
+            out[key] = float("nan")
+        else:
+            out[key] = m.get(key, 0.0) / base
+    return out
+
+
+def improvement_percent(
+    metrics: MetricsLike,
+    baseline: MetricsLike,
+    keys: tuple = ("makespan", "avg_response_time", "avg_slowdown", "energy_joules"),
+) -> Dict[str, float]:
+    """Percentage improvement over the baseline (paper Fig. 9 convention).
+
+    Positive values mean the policy improved (reduced) the metric; e.g.
+    ``avg_slowdown: 70.0`` is the paper's "70% slowdown reduction".
+    """
+    normalized = normalize_to_baseline(metrics, baseline, keys)
+    return {key: (1.0 - value) * 100.0 for key, value in normalized.items()}

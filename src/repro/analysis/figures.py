@@ -1,0 +1,78 @@
+"""Text-mode figure rendering.
+
+No plotting library is available offline, so the regenerated figures are
+emitted as aligned text: horizontal bar charts for the normalised-metric
+figures (1–3, 8, 9), a numeric grid for the heatmaps (4–6) and a two-series
+day table for Figure 7.  Each renderer mirrors the corresponding figure's
+structure so a visual side-by-side comparison with the paper is direct.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.tables import format_table
+from repro.metrics.heatmap import CategoryGrid
+
+
+def render_bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 40,
+    reference: float = 1.0,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Horizontal bar chart of label → value, with a reference mark.
+
+    Used for the "normalised to static backfill" figures: the reference line
+    (1.0) is the static baseline; shorter bars are improvements.
+    """
+    if not values:
+        return f"{title}\n(no data)"
+    finite = [v for v in values.values() if math.isfinite(v)]
+    vmax = max(finite + [reference]) if finite else reference
+    scale = width / vmax if vmax > 0 else 1.0
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        if not math.isfinite(value):
+            lines.append(f"{label.ljust(label_w)} | (n/a)")
+            continue
+        bar = "#" * max(1, int(round(value * scale)))
+        lines.append(f"{label.ljust(label_w)} | {bar} {fmt.format(value)}")
+    ref_pos = int(round(reference * scale))
+    lines.append(f"{' ' * label_w} | {' ' * (ref_pos - 1)}^ baseline={reference:g}")
+    return "\n".join(lines)
+
+
+def render_heatmap(grid: CategoryGrid, title: str = "", precision: int = 2) -> str:
+    """Numeric grid of a :class:`CategoryGrid` (rows = node bins, cols = runtime bins).
+
+    Empty categories are rendered as ``-`` (the paper leaves them blank).
+    """
+    headers = ["nodes \\ runtime"] + list(grid.runtime_labels)
+    rows: List[List[object]] = []
+    for i, node_label in enumerate(grid.node_labels):
+        row: List[object] = [node_label]
+        for j in range(len(grid.runtime_labels)):
+            value = grid.values[i, j]
+            row.append(float(value) if math.isfinite(value) else float("nan"))
+        # Skip rows with no data at all to keep the output compact.
+        if all(isinstance(v, float) and math.isnan(v) for v in row[1:]):
+            continue
+        rows.append(row)
+    return format_table(headers, rows, precision=precision, title=title)
+
+
+def render_series(
+    rows: Sequence[Mapping[str, float]],
+    x_key: str,
+    series_keys: Sequence[str],
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """Tabular rendering of one or more series over a shared x axis (Fig. 7)."""
+    headers = [x_key] + list(series_keys)
+    table_rows = [[row.get(x_key)] + [row.get(k, float("nan")) for k in series_keys] for row in rows]
+    return format_table(headers, table_rows, precision=precision, title=title)

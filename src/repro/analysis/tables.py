@@ -1,0 +1,69 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmarks and examples print the regenerated tables/figures as
+monospace text (no plotting dependency is available offline), using these
+helpers for consistent formatting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.metrics.aggregates import WorkloadMetrics
+
+Cell = Union[str, float, int]
+
+
+def _format_cell(value: Cell, precision: int) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1e6 or (0 < abs(value) < 1e-3):
+            return f"{value:.3e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    precision: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of rows as an aligned monospace table."""
+    str_rows: List[List[str]] = [[_format_cell(c, precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def metrics_table(
+    results: Mapping[str, WorkloadMetrics],
+    keys: Sequence[str] = (
+        "num_jobs",
+        "makespan",
+        "avg_response_time",
+        "avg_slowdown",
+        "malleable_scheduled",
+        "energy_joules",
+    ),
+    title: Optional[str] = None,
+) -> str:
+    """Render a {label: WorkloadMetrics} mapping as a table (one row per label)."""
+    headers = ["policy"] + list(keys)
+    rows = []
+    for label, metrics in results.items():
+        data = metrics.as_dict()
+        rows.append([label] + [data.get(k, float("nan")) for k in keys])
+    return format_table(headers, rows, title=title)

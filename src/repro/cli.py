@@ -1,0 +1,201 @@
+"""Command-line driver.
+
+Provides a small set of subcommands to run the paper's experiments from the
+shell (installed as ``repro-sdpolicy`` or via ``python -m repro``):
+
+* ``run`` — simulate one workload under one policy and print the metrics;
+* ``compare`` — run static backfill and SD-Policy on a workload and print
+  the normalised comparison;
+* ``table1`` / ``table2`` — regenerate the paper's tables;
+* ``figure`` — regenerate a figure by number (1–9; 1/2/3 and 4/5/6 are
+  grouped as in the paper);
+* ``swf`` — inspect a Standard Workload Format file.
+
+Example::
+
+    repro-sdpolicy figure 3 --workload 3 --scale 0.05
+    repro-sdpolicy compare --workload 1 --scale 0.05 --maxsd 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.tables import metrics_table
+from repro.experiments.paper import (
+    figure_1_to_3_maxsd_sweep,
+    figure_4_to_6_heatmaps,
+    figure_7_daily_series,
+    figure_8_runtime_models,
+    figure_9_real_run,
+    table_1_workloads,
+    table_2_application_mix,
+)
+from repro.experiments.runner import run_workload
+from repro.workloads.presets import build_workload
+from repro.workloads.swf import read_swf
+
+
+def _parse_maxsd(value: str):
+    if value.lower() in ("dynamic", "dynavgsd", "dyn"):
+        return "dynamic"
+    if value.lower() in ("inf", "infinite", "infinity"):
+        return math.inf
+    return float(value)
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload", type=int, default=1, choices=[1, 2, 3, 4, 5],
+        help="paper workload id (Table 1)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.05,
+        help="fraction of the full workload/system size (1.0 = paper scale)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="workload generation seed")
+    parser.add_argument(
+        "--swf", type=str, default=None,
+        help="path to a real SWF log to use instead of the synthetic workload",
+    )
+
+
+def _load_workload(args: argparse.Namespace):
+    if getattr(args, "swf", None):
+        return read_swf(args.swf)
+    return build_workload(args.workload, scale=args.scale, seed=args.seed)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    workload = _load_workload(args)
+    run = run_workload(
+        workload,
+        args.policy,
+        runtime_model=args.runtime_model,
+        max_slowdown=_parse_maxsd(args.maxsd),
+        sharing_factor=args.sharing_factor,
+    ) if args.policy.startswith("sd") else run_workload(
+        workload, args.policy, runtime_model=args.runtime_model
+    )
+    print(metrics_table({run.label: run.metrics}, title=f"{workload.name} ({len(workload)} jobs)"))
+    print(f"wall-clock: {run.wall_clock_seconds:.1f}s  scheduler stats: {run.scheduler_stats}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.comparison import improvement_percent
+
+    workload = _load_workload(args)
+    static = run_workload(workload, "static_backfill", runtime_model=args.runtime_model)
+    sd = run_workload(
+        workload,
+        "sd_policy",
+        runtime_model=args.runtime_model,
+        max_slowdown=_parse_maxsd(args.maxsd),
+        sharing_factor=args.sharing_factor,
+    )
+    print(metrics_table({"static_backfill": static.metrics, sd.label: sd.metrics},
+                        title=f"{workload.name} ({len(workload)} jobs)"))
+    improvements = improvement_percent(sd.metrics, static.metrics)
+    print("\nImprovement of SD-Policy over static backfill (%):")
+    for key, value in improvements.items():
+        print(f"  {key:20s} {value:+7.1f}%")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.table == 1:
+        print(table_1_workloads(scale=args.scale).text)
+    else:
+        print(table_2_application_mix(scale=args.scale).text)
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    figure = args.figure
+    if figure in (1, 2, 3):
+        workload = _load_workload(args)
+        result = figure_1_to_3_maxsd_sweep(workload)
+    elif figure in (4, 5, 6):
+        workload = _load_workload(args)
+        result = figure_4_to_6_heatmaps(workload, max_slowdown=_parse_maxsd(args.maxsd))
+    elif figure == 7:
+        workload = _load_workload(args)
+        result = figure_7_daily_series(workload, max_slowdown=_parse_maxsd(args.maxsd))
+    elif figure == 8:
+        workloads = {
+            f"workload{wid}": build_workload(wid, scale=args.scale, seed=args.seed)
+            for wid in (1, 2, 3, 4)
+        }
+        result = figure_8_runtime_models(workloads)
+    elif figure == 9:
+        result = figure_9_real_run(scale=args.scale)
+    else:
+        print(f"unknown figure {figure}", file=sys.stderr)
+        return 2
+    print(result.text)
+    return 0
+
+
+def _cmd_swf(args: argparse.Namespace) -> int:
+    workload = read_swf(args.path, max_jobs=args.max_jobs)
+    for key, value in workload.describe().items():
+        print(f"{key:20s} {value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sdpolicy",
+        description="SD-Policy (ICPP 2019) reproduction: simulate, compare, regenerate figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one workload under one policy")
+    _add_workload_args(p_run)
+    p_run.add_argument("--policy", default="sd_policy",
+                       choices=["fcfs", "static_backfill", "sd_policy"])
+    p_run.add_argument("--runtime-model", default="ideal", choices=["ideal", "worst_case"])
+    p_run.add_argument("--maxsd", default="dynamic", help="MAX_SLOWDOWN: number, 'inf' or 'dynamic'")
+    p_run.add_argument("--sharing-factor", type=float, default=0.5)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="compare SD-Policy against static backfill")
+    _add_workload_args(p_cmp)
+    p_cmp.add_argument("--runtime-model", default="ideal", choices=["ideal", "worst_case"])
+    p_cmp.add_argument("--maxsd", default="dynamic")
+    p_cmp.add_argument("--sharing-factor", type=float, default=0.5)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_tab = sub.add_parser("table", help="regenerate Table 1 or Table 2")
+    p_tab.add_argument("table", type=int, choices=[1, 2])
+    p_tab.add_argument("--scale", type=float, default=0.05)
+    p_tab.set_defaults(func=_cmd_table)
+
+    p_fig = sub.add_parser("figure", help="regenerate a figure (1-9)")
+    p_fig.add_argument("figure", type=int, choices=range(1, 10))
+    _add_workload_args(p_fig)
+    p_fig.add_argument("--maxsd", default="10")
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_swf = sub.add_parser("swf", help="inspect a Standard Workload Format log")
+    p_swf.add_argument("path")
+    p_swf.add_argument("--max-jobs", type=int, default=None)
+    p_swf.set_defaults(func=_cmd_swf)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-sdpolicy`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

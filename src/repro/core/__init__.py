@@ -1,0 +1,50 @@
+"""SD-Policy: the paper's primary contribution.
+
+The package implements the three layers described in Section 3 of the
+paper:
+
+* the *scheduling level* (:mod:`repro.core.sd_policy`) — the malleable
+  backfill variant of Listing 1;
+* the *resource selection level* (:mod:`repro.core.mate_selection`,
+  :mod:`repro.core.penalties`) — the slowdown-penalty-driven mate selection
+  heuristic of Listing 2 and Eq. 1–4, with the static and dynamic
+  ``MAX_SLOWDOWN`` cut-offs;
+* the shared *runtime models* (:mod:`repro.core.runtime_model`) — the
+  ideal (Eq. 5) and worst-case (Eq. 6) models used both for scheduling-time
+  estimation and for simulating malleable execution; and the
+  :mod:`repro.core.sharing` rules that decide how a node's CPUs are split
+  between a shrunk mate and a co-scheduled guest (``SharingFactor``).
+"""
+
+from repro.core.mate_selection import MateSelection, MateSelector
+from repro.core.penalties import (
+    DynamicAverageMaxSlowdown,
+    MaxSlowdownCutoff,
+    StaticMaxSlowdown,
+    mate_penalty,
+)
+from repro.core.runtime_model import (
+    IdealRuntimeModel,
+    RuntimeModel,
+    WorstCaseRuntimeModel,
+    runtime_increase_from_history,
+)
+from repro.core.sd_policy import SDPolicyConfig, SDPolicyScheduler
+from repro.core.sharing import SharingPlan, plan_node_sharing
+
+__all__ = [
+    "DynamicAverageMaxSlowdown",
+    "IdealRuntimeModel",
+    "MateSelection",
+    "MateSelector",
+    "MaxSlowdownCutoff",
+    "RuntimeModel",
+    "SDPolicyConfig",
+    "SDPolicyScheduler",
+    "SharingPlan",
+    "StaticMaxSlowdown",
+    "WorstCaseRuntimeModel",
+    "mate_penalty",
+    "plan_node_sharing",
+    "runtime_increase_from_history",
+]

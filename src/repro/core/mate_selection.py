@@ -1,0 +1,312 @@
+"""Mate selection: the resource-selection level of SD-Policy (Section 3.2).
+
+When a malleable job cannot start statically, SD-Policy looks for *mates* —
+running jobs that will shrink their per-node CPU allocation so the new job
+(the *guest*) can be co-scheduled on their nodes.  Selecting the mates is a
+knapsack-like NP-complete problem; the paper solves it with a bounded
+heuristic:
+
+* each candidate mate ``i`` gets a penalty ``p_i`` — its estimated slowdown
+  after the shrink (Eq. 4, :func:`repro.core.penalties.mate_penalty`);
+* candidates with ``p_i ≥ MAX_SLOWDOWN`` are filtered out (constraint 2);
+* the remaining candidates are sorted by penalty and only the first
+  ``max_candidates`` are kept;
+* combinations of at most ``max_mates`` mates (the paper finds no benefit
+  beyond 2) whose node counts sum exactly to the guest's requested node
+  count ``W`` (constraint 3) are enumerated, and the combination minimising
+  the total Performance Impact ``PI = Σ p_i`` (Eq. 1) is chosen;
+* a further constraint requires the guest to finish (by its worst-case
+  estimate) within every selected mate's remaining requested time, so a
+  mate never ends while still hosting the guest *according to the
+  scheduler's information*.
+
+Options supported by the paper's implementation and reproduced here:
+including free nodes in the guest's allocation to reduce fragmentation, and
+allowing a single larger mate to be used partially (``allow_partial_mates``,
+off by default because it violates constraint 3's balance argument).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.penalties import MaxSlowdownCutoff, mate_penalty
+from repro.core.runtime_model import RuntimeModel, WorstCaseRuntimeModel
+from repro.core.sharing import plan_node_sharing
+from repro.simulator.job import Job, JobState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulator.simulation import Simulation
+
+
+@dataclass(frozen=True)
+class MateCandidate:
+    """A running job eligible to be shrunk for a given guest."""
+
+    job: Job
+    penalty: float
+    weight: int  # number of nodes the mate holds (w_i in the paper)
+
+
+@dataclass
+class MateSelection:
+    """The outcome of a successful mate selection.
+
+    Attributes
+    ----------
+    mates:
+        The selected mate jobs (possibly empty if only free nodes are used).
+    guest_cpus_per_node:
+        Per-node CPUs the guest will receive.
+    mate_new_cpus:
+        For every mate, its complete new per-node CPU map after shrinking.
+    free_nodes_used:
+        Free nodes folded into the guest's allocation (fragmentation option).
+    total_penalty:
+        The Performance Impact ``PI = Σ p_i`` of the selection.
+    guest_fraction:
+        Fraction of the guest's requested CPUs provided by the plan.
+    estimated_guest_runtime:
+        Worst-case runtime estimate of the guest under the plan (seconds).
+    """
+
+    mates: List[Job]
+    guest_cpus_per_node: Dict[int, int]
+    mate_new_cpus: Dict[int, Dict[int, int]]
+    free_nodes_used: List[int] = field(default_factory=list)
+    total_penalty: float = 0.0
+    guest_fraction: float = 1.0
+    estimated_guest_runtime: float = 0.0
+
+
+class MateSelector:
+    """Heuristic mate selection (Listing 2 + Eq. 1–4).
+
+    Parameters
+    ----------
+    sharing_factor:
+        Fraction of a node's CPUs that may be taken from a mate
+        (paper default 0.5 — one socket of a two-socket node).
+    max_mates:
+        Maximum number of mates combined for one guest (paper: 2).
+    max_candidates:
+        Length cap of the penalty-sorted candidate list (the paper's ``nm``).
+    estimation_model:
+        Runtime model used for the scheduling-time estimates; the paper uses
+        the worst-case model so completion estimates are safe.
+    include_free_nodes:
+        Allow completely free nodes to be folded into the guest allocation
+        (reduces fragmentation; off by default as in the paper's evaluation).
+    allow_partial_mates:
+        Allow a single mate larger than the guest to be shrunk on only a
+        subset of its nodes (extension; off by default).
+    use_requested_time:
+        Whether penalties use requested times (deployable) or real runtimes.
+    """
+
+    def __init__(
+        self,
+        sharing_factor: float = 0.5,
+        max_mates: int = 2,
+        max_candidates: int = 50,
+        estimation_model: Optional[RuntimeModel] = None,
+        include_free_nodes: bool = False,
+        allow_partial_mates: bool = False,
+        use_requested_time: bool = True,
+    ) -> None:
+        if not 0.0 < sharing_factor < 1.0:
+            raise ValueError("sharing_factor must be in (0, 1)")
+        if max_mates <= 0:
+            raise ValueError("max_mates must be positive")
+        if max_candidates <= 0:
+            raise ValueError("max_candidates must be positive")
+        self.sharing_factor = sharing_factor
+        self.max_mates = max_mates
+        self.max_candidates = max_candidates
+        self.estimation_model = estimation_model or WorstCaseRuntimeModel()
+        self.include_free_nodes = include_free_nodes
+        self.allow_partial_mates = allow_partial_mates
+        self.use_requested_time = use_requested_time
+
+    # ------------------------------------------------------------------ #
+    # Guest-side estimates
+    # ------------------------------------------------------------------ #
+    def estimated_guest_runtime(self, guest: Job) -> float:
+        """Worst-case runtime of the guest when co-scheduled under the factor.
+
+        With the worst-case model any shared node limits progress, so the
+        guest's effective fraction is the SharingFactor regardless of free
+        nodes in the mix.
+        """
+        return self.estimation_model.dilated_runtime(guest.requested_time, self.sharing_factor)
+
+    def estimated_guest_increase(self, guest: Job) -> float:
+        """Runtime increase of the guest versus a static start (Listing 1)."""
+        return self.estimated_guest_runtime(guest) - guest.requested_time
+
+    # ------------------------------------------------------------------ #
+    # Candidate construction
+    # ------------------------------------------------------------------ #
+    def _is_eligible(self, sim: "Simulation", mate: Job, guest: Job, guest_runtime: float) -> bool:
+        if mate.state is not JobState.RUNNING or mate.start_time is None:
+            return False
+        if not mate.malleable:
+            return False
+        if mate.job_id == guest.job_id:
+            return False
+        # A job that was itself co-scheduled as a guest, or that already
+        # hosts a guest, is not shrunk further (one guest per node set).
+        if mate.guest_of:
+            return False
+        for nid in mate.allocated_nodes:
+            if sim.cluster.node(nid).is_shared:
+                return False
+        # The guest must finish (by its worst-case estimate) inside the
+        # mate's remaining requested allocation.
+        ref_time = mate.requested_time if self.use_requested_time else mate.static_runtime
+        mate_end = mate.start_time + ref_time
+        if mate_end < sim.now + guest_runtime:
+            return False
+        return True
+
+    def candidate_mates(
+        self,
+        sim: "Simulation",
+        guest: Job,
+        cutoff: MaxSlowdownCutoff,
+    ) -> List[MateCandidate]:
+        """Build, filter and sort the list of candidate mates for a guest."""
+        guest_runtime = self.estimated_guest_runtime(guest)
+        kept_fraction = 1.0 - self.sharing_factor
+        candidates: List[MateCandidate] = []
+        for mate in sim.running.values():
+            if not self._is_eligible(sim, mate, guest, guest_runtime):
+                continue
+            increase = self.estimation_model.mate_increase(guest_runtime, kept_fraction)
+            penalty = mate_penalty(mate, increase, self.use_requested_time)
+            if not cutoff.admits(penalty):
+                continue
+            weight = len(mate.allocated_nodes)
+            if weight <= 0:
+                continue
+            candidates.append(MateCandidate(job=mate, penalty=penalty, weight=weight))
+        candidates.sort(key=lambda c: (c.penalty, c.job.job_id))
+        return candidates[: self.max_candidates]
+
+    # ------------------------------------------------------------------ #
+    # Combination search
+    # ------------------------------------------------------------------ #
+    def _best_combination(
+        self,
+        candidates: Sequence[MateCandidate],
+        nodes_needed: int,
+    ) -> Optional[Tuple[List[MateCandidate], int]]:
+        """Minimum-PI combination of ≤ ``max_mates`` mates summing to the target.
+
+        Returns ``(combination, surplus_nodes)`` where ``surplus_nodes`` is 0
+        for exact matches and positive only when ``allow_partial_mates`` lets
+        a single larger mate cover the request with nodes to spare.
+        """
+        best: Optional[Tuple[List[MateCandidate], int]] = None
+        best_pi = math.inf
+        n = len(candidates)
+        max_r = min(self.max_mates, n)
+        for r in range(1, max_r + 1):
+            for combo in itertools.combinations(range(n), r):
+                picks = [candidates[i] for i in combo]
+                total_nodes = sum(c.weight for c in picks)
+                pi = sum(c.penalty for c in picks)
+                if pi >= best_pi:
+                    continue
+                if total_nodes == nodes_needed:
+                    best, best_pi = (picks, 0), pi
+                elif (
+                    self.allow_partial_mates
+                    and r == 1
+                    and total_nodes > nodes_needed
+                ):
+                    best, best_pi = (picks, total_nodes - nodes_needed), pi
+        return best
+
+    def _build_plan(
+        self,
+        sim: "Simulation",
+        guest: Job,
+        picks: Sequence[MateCandidate],
+        surplus_nodes: int,
+        free_nodes: Sequence[int],
+    ) -> Optional[MateSelection]:
+        """Turn a combination into a concrete per-node CPU plan."""
+        guest_cpus: Dict[int, int] = {}
+        mate_new: Dict[int, Dict[int, int]] = {}
+        mates: List[Job] = []
+        for candidate in picks:
+            mate = candidate.job
+            mate_map = dict(mate.assigned_cpus)
+            nodes = sorted(mate.allocated_nodes)
+            if surplus_nodes and candidate is picks[-1]:
+                # Partial use of a larger mate: shrink it only on the first
+                # ``weight - surplus`` of its nodes.
+                nodes = nodes[: candidate.weight - surplus_nodes]
+            for nid in nodes:
+                plan = plan_node_sharing(
+                    sim.cluster.node(nid), mate, guest, self.sharing_factor
+                )
+                if plan is None:
+                    return None
+                guest_cpus[nid] = plan.guest_cpus
+                mate_map[nid] = plan.mate_cpus
+            mate_new[mate.job_id] = mate_map
+            mates.append(mate)
+        for nid in free_nodes:
+            guest_cpus[nid] = sim.cluster.node(nid).total_cpus
+        if len(guest_cpus) != guest.requested_nodes:
+            return None
+        total_guest_cpus = sum(guest_cpus.values())
+        fraction = min(1.0, total_guest_cpus / guest.requested_cpus)
+        # The worst-case runtime of the concrete plan is governed by the
+        # most-shrunk node.
+        per_node_request = guest.requested_cpus / guest.requested_nodes
+        worst_fraction = min(1.0, min(guest_cpus.values()) / per_node_request)
+        runtime = self.estimation_model.dilated_runtime(guest.requested_time, worst_fraction)
+        return MateSelection(
+            mates=mates,
+            guest_cpus_per_node=guest_cpus,
+            mate_new_cpus=mate_new,
+            free_nodes_used=list(free_nodes),
+            total_penalty=sum(c.penalty for c in picks),
+            guest_fraction=fraction,
+            estimated_guest_runtime=runtime,
+        )
+
+    # ------------------------------------------------------------------ #
+    def select(
+        self,
+        sim: "Simulation",
+        guest: Job,
+        cutoff: MaxSlowdownCutoff,
+    ) -> Optional[MateSelection]:
+        """Select the best mates for a guest, or ``None`` if no set exists."""
+        if guest.requested_nodes <= 0:
+            return None
+        candidates = self.candidate_mates(sim, guest, cutoff)
+        if not candidates and not self.include_free_nodes:
+            return None
+        free_pool: List[int] = sim.cluster.free_node_ids if self.include_free_nodes else []
+        # Prefer plans using as many free nodes as possible (they add no
+        # penalty); fall back to fewer free nodes until a feasible mate
+        # combination exists for the remainder.
+        max_free = min(len(free_pool), guest.requested_nodes - 1) if free_pool else 0
+        for free_count in range(max_free, -1, -1):
+            nodes_needed = guest.requested_nodes - free_count
+            combo = self._best_combination(candidates, nodes_needed)
+            if combo is None:
+                continue
+            picks, surplus = combo
+            plan = self._build_plan(sim, guest, picks, surplus, free_pool[:free_count])
+            if plan is not None:
+                return plan
+        return None

@@ -1,0 +1,349 @@
+"""Per-table / per-figure experiment definitions.
+
+Every public function regenerates the data behind one table or figure of the
+paper's evaluation (Section 4), at a configurable scale.  The returned
+:class:`FigureResult` carries both the raw data (for programmatic checks in
+the benchmarks/tests) and a rendered text version (for humans comparing
+against the paper).
+
+The experiment ↔ module mapping is documented in DESIGN.md; the measured
+values and their comparison with the paper are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.analysis.comparison import improvement_percent, normalize_to_baseline
+from repro.analysis.figures import render_bar_chart, render_heatmap, render_series
+from repro.analysis.tables import format_table, metrics_table
+from repro.experiments.runner import PolicyRun, run_workload
+from repro.metrics.heatmap import CategoryGrid, category_heatmap, heatmap_ratio
+from repro.metrics.timeseries import daily_series_table
+from repro.workloads.applications import application_shares
+from repro.workloads.job_record import Workload
+from repro.workloads.presets import PAPER_WORKLOADS, build_workload
+
+#: The MAX_SLOWDOWN settings swept in Figures 1-3.
+MAXSD_SETTINGS: Dict[str, Union[float, str]] = {
+    "MAXSD 5": 5.0,
+    "MAXSD 10": 10.0,
+    "MAXSD 50": 50.0,
+    "MAXSD inf": math.inf,
+    "DynAVGSD": "dynamic",
+}
+
+
+@dataclass
+class FigureResult:
+    """Regenerated data for one table or figure."""
+
+    figure: str
+    description: str
+    data: Dict[str, object] = field(default_factory=dict)
+    text: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text or f"<{self.figure}>"
+
+
+# --------------------------------------------------------------------- #
+# Table 1
+# --------------------------------------------------------------------- #
+def table_1_workloads(
+    scale: float = 0.05,
+    workload_ids: Sequence[int] = (1, 2, 3, 4, 5),
+    seed: Optional[int] = None,
+) -> FigureResult:
+    """Table 1: per-workload statistics under static backfill.
+
+    The paper's table lists, for every workload, the number of jobs, the
+    system and max-job sizes, and the average response time, average
+    slowdown and makespan measured with the static backfill simulation.
+    """
+    rows: List[List[object]] = []
+    per_workload: Dict[int, Dict[str, float]] = {}
+    for wid in workload_ids:
+        workload = build_workload(wid, scale=scale, seed=seed)
+        run = run_workload(workload, "static_backfill")
+        spec = PAPER_WORKLOADS[wid]
+        row = {
+            "id": wid,
+            "log_model": spec.label,
+            "jobs": len(workload),
+            "system_nodes": workload.system_nodes,
+            "system_cpus": workload.system_cpus,
+            "max_job_nodes": workload.max_job_nodes,
+            "avg_response_time": run.metrics.avg_response_time,
+            "avg_slowdown": run.metrics.avg_slowdown,
+            "makespan": run.metrics.makespan,
+        }
+        per_workload[wid] = row
+        rows.append(list(row.values()))
+    headers = [
+        "ID",
+        "Log/model",
+        "#jobs",
+        "nodes",
+        "cores",
+        "max job nodes",
+        "avg resp (s)",
+        "avg slowdown",
+        "makespan (s)",
+    ]
+    text = format_table(headers, rows, precision=1, title=f"Table 1 (scale={scale:g})")
+    return FigureResult(
+        figure="table1",
+        description="Workload descriptions under static backfill",
+        data={"rows": per_workload, "scale": scale},
+        text=text,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Table 2
+# --------------------------------------------------------------------- #
+def table_2_application_mix(scale: float = 1.0, seed: int = 5005) -> FigureResult:
+    """Table 2: the application mix assigned to the real-run workload."""
+    workload = build_workload(5, scale=scale, seed=seed)
+    shares = application_shares(workload)
+    rows = [[app, f"{100 * share:.1f}%"] for app, share in shares.items()]
+    text = format_table(
+        ["Application", "% of workload"], rows, title=f"Table 2 (scale={scale:g})"
+    )
+    return FigureResult(
+        figure="table2",
+        description="Real-run workload application mix",
+        data={"shares": shares, "num_jobs": len(workload)},
+        text=text,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figures 1-3: MAX_SLOWDOWN sweep
+# --------------------------------------------------------------------- #
+def figure_1_to_3_maxsd_sweep(
+    workload: Workload,
+    maxsd_settings: Mapping[str, Union[float, str]] = MAXSD_SETTINGS,
+    sharing_factor: float = 0.5,
+    runtime_model: str = "ideal",
+    malleable_fraction: float = 1.0,
+) -> FigureResult:
+    """Figures 1, 2, 3: makespan / response / slowdown vs MAX_SLOWDOWN.
+
+    All values are normalised to the static backfill run of the same
+    workload, exactly as in the paper (SharingFactor 0.5, ideal runtime
+    model for the simulated execution, worst-case model for scheduling
+    estimates).
+    """
+    baseline = run_workload(workload, "static_backfill", runtime_model=runtime_model,
+                            malleable_fraction=malleable_fraction)
+    normalized: Dict[str, Dict[str, float]] = {}
+    runs: Dict[str, PolicyRun] = {"static_backfill": baseline}
+    for label, setting in maxsd_settings.items():
+        run = run_workload(
+            workload,
+            "sd_policy",
+            runtime_model=runtime_model,
+            malleable_fraction=malleable_fraction,
+            label=label,
+            max_slowdown=setting,
+            sharing_factor=sharing_factor,
+        )
+        runs[label] = run
+        normalized[label] = normalize_to_baseline(run.metrics, baseline.metrics)
+    charts = []
+    for metric, figure_name in (
+        ("makespan", "Figure 1 - makespan"),
+        ("avg_response_time", "Figure 2 - average response time"),
+        ("avg_slowdown", "Figure 3 - average slowdown"),
+    ):
+        charts.append(
+            render_bar_chart(
+                {label: vals[metric] for label, vals in normalized.items()},
+                title=f"{figure_name} ({workload.name}, normalised to static backfill)",
+            )
+        )
+    return FigureResult(
+        figure="figure1-3",
+        description="MAX_SLOWDOWN parameter sweep",
+        data={
+            "normalized": normalized,
+            "baseline": baseline.metrics.as_dict(),
+            "runs": {label: run.metrics.as_dict() for label, run in runs.items()},
+            "workload": workload.name,
+        },
+        text="\n\n".join(charts),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figures 4-6: per-category heatmaps on the big workload
+# --------------------------------------------------------------------- #
+def figure_4_to_6_heatmaps(
+    workload: Workload,
+    max_slowdown: float = 10.0,
+    runtime_model: str = "ideal",
+) -> FigureResult:
+    """Figures 4, 5, 6: static/SD ratio per job category (workload 4)."""
+    static = run_workload(workload, "static_backfill", runtime_model=runtime_model)
+    sd = run_workload(
+        workload, "sd_policy", runtime_model=runtime_model, max_slowdown=max_slowdown
+    )
+    grids: Dict[str, CategoryGrid] = {}
+    texts: List[str] = []
+    for metric, figure_name in (
+        ("slowdown", "Figure 4 - slowdown ratio (static / SD-Policy)"),
+        ("runtime", "Figure 5 - runtime ratio (static / SD-Policy)"),
+        ("wait", "Figure 6 - wait-time ratio (static / SD-Policy)"),
+    ):
+        ratio = heatmap_ratio(
+            category_heatmap(static.jobs, metric=metric),
+            category_heatmap(sd.jobs, metric=metric),
+        )
+        grids[metric] = ratio
+        texts.append(render_heatmap(ratio, title=f"{figure_name} ({workload.name})"))
+    return FigureResult(
+        figure="figure4-6",
+        description="Per-category ratios between static backfill and SD-Policy",
+        data={
+            "grids": grids,
+            "static_metrics": static.metrics.as_dict(),
+            "sd_metrics": sd.metrics.as_dict(),
+        },
+        text="\n\n".join(texts),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figure 7: per-day slowdown trend
+# --------------------------------------------------------------------- #
+def figure_7_daily_series(
+    workload: Workload,
+    max_slowdown: float = 10.0,
+    runtime_model: str = "ideal",
+) -> FigureResult:
+    """Figure 7: daily average slowdown and malleable-job counts."""
+    static = run_workload(workload, "static_backfill", runtime_model=runtime_model)
+    sd = run_workload(
+        workload, "sd_policy", runtime_model=runtime_model, max_slowdown=max_slowdown
+    )
+    rows = daily_series_table(static.jobs, sd.jobs)
+    total_jobs = max(1, len(sd.jobs))
+    data = {
+        "rows": rows,
+        "malleable_scheduled": sd.metrics.malleable_scheduled,
+        "mate_jobs": sd.metrics.mate_jobs,
+        "malleable_fraction": sd.metrics.malleable_scheduled / total_jobs,
+        "mate_fraction": sd.metrics.mate_jobs / total_jobs,
+        "static_metrics": static.metrics.as_dict(),
+        "sd_metrics": sd.metrics.as_dict(),
+    }
+    text = render_series(
+        rows,
+        x_key="day",
+        series_keys=("static_slowdown", "sd_slowdown", "malleable_jobs"),
+        title=f"Figure 7 - daily average slowdown ({workload.name})",
+    )
+    return FigureResult(
+        figure="figure7",
+        description="Daily slowdown trend and malleable-job counts",
+        data=data,
+        text=text,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figure 8: ideal vs worst-case runtime model
+# --------------------------------------------------------------------- #
+def figure_8_runtime_models(
+    workloads: Mapping[str, Workload],
+    max_slowdown: Union[float, str] = "dynamic",
+    sharing_factor: float = 0.5,
+) -> FigureResult:
+    """Figure 8: SD-Policy under the ideal vs the worst-case runtime model.
+
+    For every workload, both models are simulated with SD-Policy DynAVGSD
+    and normalised to the static backfill run of the same workload.
+    """
+    per_workload: Dict[str, Dict[str, Dict[str, float]]] = {}
+    charts: List[str] = []
+    for name, workload in workloads.items():
+        baseline = run_workload(workload, "static_backfill")
+        entry: Dict[str, Dict[str, float]] = {}
+        for model in ("ideal", "worst_case"):
+            run = run_workload(
+                workload,
+                "sd_policy",
+                runtime_model=model,
+                max_slowdown=max_slowdown,
+                sharing_factor=sharing_factor,
+                label=f"sd_{model}",
+            )
+            entry[model] = normalize_to_baseline(run.metrics, baseline.metrics)
+        per_workload[name] = entry
+        chart_values = {
+            f"{model}/{metric}": entry[model][metric]
+            for model in entry
+            for metric in ("makespan", "avg_response_time", "avg_slowdown")
+        }
+        charts.append(
+            render_bar_chart(
+                chart_values,
+                title=f"Figure 8 - runtime models ({name}, normalised to static backfill)",
+            )
+        )
+    return FigureResult(
+        figure="figure8",
+        description="Ideal vs worst-case runtime model",
+        data={"per_workload": per_workload},
+        text="\n\n".join(charts),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figure 9: the real-run emulation
+# --------------------------------------------------------------------- #
+def figure_9_real_run(
+    scale: float = 1.0,
+    sharing_factor: float = 0.5,
+    max_slowdown: Union[float, str] = "dynamic",
+    seed: int = 5005,
+) -> FigureResult:
+    """Figure 9: improvements of SD-Policy in the emulated MareNostrum4 run.
+
+    Delegates to :mod:`repro.realrun.emulator`, which replays workload 5
+    with application-aware performance and energy models on the 49-node
+    system, and reports the percentage improvement of makespan, response
+    time, slowdown and energy over static backfill.
+    """
+    from repro.realrun.emulator import RealRunEmulator
+
+    emulator = RealRunEmulator(
+        scale=scale,
+        sharing_factor=sharing_factor,
+        max_slowdown=max_slowdown,
+        seed=seed,
+    )
+    outcome = emulator.compare()
+    improvements = outcome.improvements
+    text = render_bar_chart(
+        improvements,
+        title="Figure 9 - improvement (%) of SD-Policy over static backfill",
+        reference=0.0,
+        fmt="{:.1f}%",
+    )
+    return FigureResult(
+        figure="figure9",
+        description="Real-run (emulated MareNostrum4) improvements",
+        data={
+            "improvements": improvements,
+            "static_metrics": outcome.static_metrics.as_dict(),
+            "sd_metrics": outcome.sd_metrics.as_dict(),
+            "better_runtime_jobs": outcome.better_runtime_jobs,
+            "malleable_scheduled": outcome.sd_metrics.malleable_scheduled,
+        },
+        text=text,
+    )

@@ -1,0 +1,126 @@
+"""Run one workload under one policy and collect its metrics."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.core.runtime_model import IdealRuntimeModel, RuntimeModel, WorstCaseRuntimeModel
+from repro.core.sd_policy import SDPolicyConfig, SDPolicyScheduler
+from repro.metrics.aggregates import WorkloadMetrics, compute_metrics
+from repro.metrics.energy import LinearPowerModel
+from repro.schedulers.backfill import BackfillScheduler
+from repro.schedulers.base import Scheduler
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.simulator.cluster import Cluster
+from repro.simulator.job import Job
+from repro.simulator.simulation import Simulation, SimulationResult
+from repro.workloads.job_record import Workload
+
+
+def cluster_for(workload: Workload, sockets: int = 2) -> Cluster:
+    """Build the cluster described by a workload's system fields."""
+    cores_per_socket = max(1, workload.cpus_per_node // sockets)
+    # If the node width is not divisible by the socket count, fall back to a
+    # single socket so the CPU count stays exact.
+    if cores_per_socket * sockets != workload.cpus_per_node:
+        sockets, cores_per_socket = 1, workload.cpus_per_node
+    return Cluster(
+        num_nodes=workload.system_nodes,
+        sockets=sockets,
+        cores_per_socket=cores_per_socket,
+    )
+
+
+def make_scheduler(policy: Union[str, Scheduler, Callable[[], Scheduler]], **kwargs) -> Scheduler:
+    """Build a scheduler from a name, an instance, or a zero-arg factory.
+
+    Recognised names: ``"fcfs"``, ``"static_backfill"`` (or ``"backfill"``),
+    ``"sd_policy"`` (keyword arguments are forwarded to
+    :class:`repro.core.sd_policy.SDPolicyConfig`).
+    """
+    if isinstance(policy, Scheduler):
+        return policy
+    if callable(policy) and not isinstance(policy, str):
+        return policy()
+    name = policy.lower()
+    if name == "fcfs":
+        return FCFSScheduler()
+    if name in ("backfill", "static_backfill", "static"):
+        return BackfillScheduler(**kwargs)
+    if name in ("sd", "sd_policy", "sdpolicy"):
+        return SDPolicyScheduler(SDPolicyConfig(**kwargs))
+    raise ValueError(f"unknown policy {policy!r}")
+
+
+@dataclass
+class PolicyRun:
+    """The outcome of running one workload under one policy."""
+
+    label: str
+    workload_name: str
+    result: SimulationResult
+    metrics: WorkloadMetrics
+    wall_clock_seconds: float
+    scheduler_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def jobs(self) -> List[Job]:
+        """The completed jobs of the run."""
+        return self.result.jobs
+
+
+def run_workload(
+    workload: Workload,
+    policy: Union[str, Scheduler, Callable[[], Scheduler]] = "static_backfill",
+    runtime_model: Optional[Union[str, RuntimeModel]] = None,
+    malleable_fraction: float = 1.0,
+    tasks_per_node: int = 1,
+    power_model: Optional[LinearPowerModel] = LinearPowerModel(),
+    use_requested_time_for_predictions: bool = True,
+    label: Optional[str] = None,
+    seed: int = 0,
+    **policy_kwargs,
+) -> PolicyRun:
+    """Simulate a workload under a policy and return metrics.
+
+    Parameters mirror the knobs the paper varies: the policy (static
+    backfill vs SD-Policy with a MAX_SLOWDOWN setting), the runtime model
+    (ideal vs worst case, Figure 8), and the malleable fraction of the
+    workload (all-malleable in the paper's simulations).
+    """
+    scheduler = make_scheduler(policy, **policy_kwargs)
+    if isinstance(runtime_model, str):
+        from repro.core.runtime_model import get_model
+
+        runtime_model = get_model(runtime_model)
+    cluster = cluster_for(workload)
+    sim = Simulation(
+        cluster,
+        scheduler,
+        runtime_model=runtime_model or WorstCaseRuntimeModel(),
+        power_model=power_model,
+        use_requested_time_for_predictions=use_requested_time_for_predictions,
+    )
+    jobs = workload.to_jobs(
+        cpus_per_node=cluster.cpus_per_node,
+        malleable_fraction=malleable_fraction,
+        tasks_per_node=tasks_per_node,
+        seed=seed,
+    )
+    sim.submit_jobs(jobs)
+    started = time.perf_counter()
+    result = sim.run()
+    elapsed = time.perf_counter() - started
+    metrics = compute_metrics(result.jobs, energy_joules=result.energy_joules)
+    stats = scheduler.stats() if hasattr(scheduler, "stats") else {}
+    return PolicyRun(
+        label=label or result.scheduler_name,
+        workload_name=workload.name,
+        result=result,
+        metrics=metrics,
+        wall_clock_seconds=elapsed,
+        scheduler_stats=stats,
+    )

@@ -1,0 +1,40 @@
+"""Metrics: the quantities the paper's evaluation reports.
+
+* :mod:`repro.metrics.aggregates` — makespan, average response time,
+  average slowdown, average/percentile wait times (Section 4's metric
+  definitions);
+* :mod:`repro.metrics.heatmap` — the (requested nodes × runtime) category
+  binning behind Figures 4–6;
+* :mod:`repro.metrics.timeseries` — per-day average slowdown and per-day
+  malleable-job counts (Figure 7);
+* :mod:`repro.metrics.energy` — node power models and workload energy
+  (Figure 9's energy metric).
+"""
+
+from repro.metrics.aggregates import (
+    WorkloadMetrics,
+    average_response_time,
+    average_slowdown,
+    average_wait_time,
+    compute_metrics,
+    makespan,
+)
+from repro.metrics.energy import LinearPowerModel, workload_energy
+from repro.metrics.heatmap import CategoryGrid, category_heatmap, heatmap_ratio
+from repro.metrics.timeseries import daily_malleable_counts, daily_slowdown
+
+__all__ = [
+    "CategoryGrid",
+    "LinearPowerModel",
+    "WorkloadMetrics",
+    "average_response_time",
+    "average_slowdown",
+    "average_wait_time",
+    "category_heatmap",
+    "compute_metrics",
+    "daily_malleable_counts",
+    "daily_slowdown",
+    "heatmap_ratio",
+    "makespan",
+    "workload_energy",
+]

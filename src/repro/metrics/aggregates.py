@@ -1,0 +1,142 @@
+"""Aggregate scheduling metrics (Section 4 of the paper).
+
+The paper evaluates every experiment with four metrics:
+
+* **Makespan** — last job end time minus first job arrival time.
+* **Average response time** — mean of (end − submit) over all jobs.
+* **Average slowdown** — mean of (response time / static execution time).
+* **Energy consumption** — handled by :mod:`repro.metrics.energy`.
+
+All functions work on plain sequences of completed
+:class:`repro.simulator.job.Job` objects so they can be applied both to
+simulation results and to the real-run emulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.simulator.job import Job
+
+
+def _completed(jobs: Iterable[Job]) -> List[Job]:
+    done = [j for j in jobs if j.end_time is not None]
+    return done
+
+
+def makespan(jobs: Iterable[Job]) -> float:
+    """Last end time minus first arrival time (0 for an empty set)."""
+    done = _completed(jobs)
+    if not done:
+        return 0.0
+    first_arrival = min(j.submit_time for j in done)
+    last_end = max(j.end_time for j in done)
+    return last_end - first_arrival
+
+
+def average_response_time(jobs: Iterable[Job]) -> float:
+    """Mean of end − submit over the completed jobs."""
+    done = _completed(jobs)
+    if not done:
+        return 0.0
+    return float(np.mean([j.response_time for j in done]))
+
+
+def average_wait_time(jobs: Iterable[Job]) -> float:
+    """Mean queue wait over the completed jobs."""
+    done = _completed(jobs)
+    if not done:
+        return 0.0
+    return float(np.mean([j.wait_time for j in done]))
+
+
+def average_slowdown(jobs: Iterable[Job]) -> float:
+    """Mean of response / static runtime over the completed jobs."""
+    done = _completed(jobs)
+    if not done:
+        return 0.0
+    return float(np.mean([j.slowdown for j in done]))
+
+
+def average_bounded_slowdown(jobs: Iterable[Job], tau: float = 10.0) -> float:
+    """Mean bounded slowdown (threshold ``tau``), for completeness."""
+    done = _completed(jobs)
+    if not done:
+        return 0.0
+    return float(np.mean([j.bounded_slowdown(tau) for j in done]))
+
+
+@dataclass
+class WorkloadMetrics:
+    """All aggregate metrics of one run, plus a few useful extras."""
+
+    num_jobs: int
+    makespan: float
+    avg_response_time: float
+    avg_wait_time: float
+    avg_slowdown: float
+    avg_bounded_slowdown: float
+    median_slowdown: float
+    p95_slowdown: float
+    avg_runtime: float
+    malleable_scheduled: int
+    mate_jobs: int
+    energy_joules: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary form (used by the report/figure helpers)."""
+        out = {
+            "num_jobs": self.num_jobs,
+            "makespan": self.makespan,
+            "avg_response_time": self.avg_response_time,
+            "avg_wait_time": self.avg_wait_time,
+            "avg_slowdown": self.avg_slowdown,
+            "avg_bounded_slowdown": self.avg_bounded_slowdown,
+            "median_slowdown": self.median_slowdown,
+            "p95_slowdown": self.p95_slowdown,
+            "avg_runtime": self.avg_runtime,
+            "malleable_scheduled": self.malleable_scheduled,
+            "mate_jobs": self.mate_jobs,
+            "energy_joules": self.energy_joules,
+        }
+        out.update(self.extra)
+        return out
+
+
+def compute_metrics(jobs: Iterable[Job], energy_joules: float = 0.0) -> WorkloadMetrics:
+    """Compute the full :class:`WorkloadMetrics` for a set of completed jobs."""
+    done = _completed(jobs)
+    if not done:
+        return WorkloadMetrics(
+            num_jobs=0,
+            makespan=0.0,
+            avg_response_time=0.0,
+            avg_wait_time=0.0,
+            avg_slowdown=0.0,
+            avg_bounded_slowdown=0.0,
+            median_slowdown=0.0,
+            p95_slowdown=0.0,
+            avg_runtime=0.0,
+            malleable_scheduled=0,
+            mate_jobs=0,
+            energy_joules=energy_joules,
+        )
+    slowdowns = np.array([j.slowdown for j in done])
+    return WorkloadMetrics(
+        num_jobs=len(done),
+        makespan=makespan(done),
+        avg_response_time=average_response_time(done),
+        avg_wait_time=average_wait_time(done),
+        avg_slowdown=float(np.mean(slowdowns)),
+        avg_bounded_slowdown=average_bounded_slowdown(done),
+        median_slowdown=float(np.median(slowdowns)),
+        p95_slowdown=float(np.percentile(slowdowns, 95)),
+        avg_runtime=float(np.mean([j.actual_runtime for j in done])),
+        malleable_scheduled=sum(1 for j in done if j.scheduled_malleable),
+        mate_jobs=sum(1 for j in done if j.was_mate),
+        energy_joules=energy_joules,
+    )

@@ -1,0 +1,81 @@
+"""Per-day time series (Figure 7 of the paper).
+
+Figure 7 plots, for workload 4, the average slowdown per day of static
+backfill and of SD-Policy, together with the number of jobs scheduled with
+malleability each day.  Jobs are assigned to the day of their submission.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.simulator.job import Job
+
+SECONDS_PER_DAY = 86400.0
+
+
+def _day_of(job: Job, origin: float) -> int:
+    return int((job.submit_time - origin) // SECONDS_PER_DAY)
+
+
+def daily_slowdown(jobs: Iterable[Job], origin: float | None = None) -> Dict[int, float]:
+    """Average slowdown per submission day.
+
+    ``origin`` defaults to the earliest submission time so day 0 is the
+    first day of the workload.
+    """
+    done = [j for j in jobs if j.end_time is not None]
+    if not done:
+        return {}
+    base = origin if origin is not None else min(j.submit_time for j in done)
+    sums: Dict[int, float] = {}
+    counts: Dict[int, int] = {}
+    for job in done:
+        day = _day_of(job, base)
+        sums[day] = sums.get(day, 0.0) + job.slowdown
+        counts[day] = counts.get(day, 0) + 1
+    return {day: sums[day] / counts[day] for day in sorted(sums)}
+
+
+def daily_malleable_counts(jobs: Iterable[Job], origin: float | None = None) -> Dict[int, int]:
+    """Number of jobs scheduled with malleability per submission day."""
+    done = [j for j in jobs if j.end_time is not None]
+    if not done:
+        return {}
+    base = origin if origin is not None else min(j.submit_time for j in done)
+    counts: Dict[int, int] = {}
+    for job in done:
+        if job.scheduled_malleable:
+            day = _day_of(job, base)
+            counts[day] = counts.get(day, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def daily_series_table(
+    static_jobs: Iterable[Job],
+    sd_jobs: Iterable[Job],
+) -> List[Dict[str, float]]:
+    """Rows combining both runs per day: the data behind Figure 7.
+
+    Each row has ``day``, ``static_slowdown``, ``sd_slowdown`` and
+    ``malleable_jobs``.  The day axis is aligned on each run's own first
+    submission (both runs replay the same workload, so the days coincide).
+    """
+    static = daily_slowdown(static_jobs)
+    sd = daily_slowdown(sd_jobs)
+    malleable = daily_malleable_counts(sd_jobs)
+    days = sorted(set(static) | set(sd))
+    rows: List[Dict[str, float]] = []
+    for day in days:
+        rows.append(
+            {
+                "day": day,
+                "static_slowdown": static.get(day, math.nan),
+                "sd_slowdown": sd.get(day, math.nan),
+                "malleable_jobs": malleable.get(day, 0),
+            }
+        )
+    return rows

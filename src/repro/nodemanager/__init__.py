@@ -1,0 +1,27 @@
+"""Node-level resource management (the paper's DROM + task/affinity layer).
+
+The scheduler decides *how many* CPUs of a node each job holds; this package
+decides *which* CPUs, mirroring the paper's Section 3.3:
+
+* :mod:`repro.nodemanager.drom` — an emulation of the DROM API: a per-node
+  registry of processes with CPU masks that can be queried and changed at
+  "malleability points";
+* :mod:`repro.nodemanager.affinity` — the socket-aware CPU distribution
+  algorithm that keeps co-scheduled jobs balanced and isolated on separate
+  sockets;
+* :mod:`repro.nodemanager.manager` — the node-manager logic of Listing 3:
+  recompute affinities when a job starts or ends, return cores to their
+  owner, or redistribute them when the owner already finished.
+"""
+
+from repro.nodemanager.affinity import CoreAssignment, distribute_cpus
+from repro.nodemanager.drom import DromProcess, DromRegistry
+from repro.nodemanager.manager import NodeManager
+
+__all__ = [
+    "CoreAssignment",
+    "DromProcess",
+    "DromRegistry",
+    "NodeManager",
+    "distribute_cpus",
+]

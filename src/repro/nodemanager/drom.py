@@ -1,0 +1,161 @@
+"""Emulation of the DROM API (Dynamic Resource Ownership Management).
+
+The real DROM library (D'Amico et al., ICPP'18) lets a resource manager talk
+to running applications: processes register themselves in a shared "DROM
+space", and the node manager can query the registered processes and change
+their CPU masks; the application picks up the new mask at its next
+malleability point.
+
+For the reproduction we only need the bookkeeping semantics — which tasks
+exist, which CPU mask each holds, and the attach/set-mask/clean life cycle —
+because the performance effect of mask changes is already captured by the
+runtime models.  The registry is nevertheless implemented faithfully enough
+that the node manager (Listing 3) can be exercised and tested against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+
+class DromError(RuntimeError):
+    """Raised on invalid DROM operations (unknown pid, mask conflicts...)."""
+
+
+@dataclass
+class DromProcess:
+    """One task registered in the DROM space of a node."""
+
+    pid: int
+    job_id: int
+    cpu_mask: FrozenSet[int] = frozenset()
+    #: Number of mask updates the process has observed (each corresponds to a
+    #: malleability point at which the application adapted).
+    mask_updates: int = 0
+
+    @property
+    def num_cpus(self) -> int:
+        """Number of CPUs currently in the process mask."""
+        return len(self.cpu_mask)
+
+
+class DromRegistry:
+    """The DROM space of a single node.
+
+    Mirrors the API surface described in Section 2.1 of the paper:
+    registering processes, listing the recorded processes, and getting /
+    setting their CPU masks.
+    """
+
+    def __init__(self, total_cpus: int) -> None:
+        if total_cpus <= 0:
+            raise ValueError("total_cpus must be positive")
+        self.total_cpus = total_cpus
+        self._processes: Dict[int, DromProcess] = {}
+        self._next_pid = 1
+
+    # ------------------------------------------------------------------ #
+    # DROM_register / DROM_clean
+    # ------------------------------------------------------------------ #
+    def register(self, job_id: int, cpu_mask: Iterable[int] = ()) -> DromProcess:
+        """Attach a new task of ``job_id`` to the DROM space."""
+        mask = frozenset(cpu_mask)
+        self._validate_mask(mask)
+        proc = DromProcess(pid=self._next_pid, job_id=job_id, cpu_mask=mask)
+        self._next_pid += 1
+        self._processes[proc.pid] = proc
+        return proc
+
+    def clean(self, pid: int) -> None:
+        """Remove a task from the DROM space (DROM_clean at job end)."""
+        if pid not in self._processes:
+            raise DromError(f"unknown pid {pid}")
+        del self._processes[pid]
+
+    def clean_job(self, job_id: int) -> int:
+        """Remove every task of a job; returns how many were removed."""
+        pids = [pid for pid, proc in self._processes.items() if proc.job_id == job_id]
+        for pid in pids:
+            del self._processes[pid]
+        return len(pids)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def processes(self) -> List[DromProcess]:
+        """All registered processes (the DROM "get list" call)."""
+        return list(self._processes.values())
+
+    def processes_of(self, job_id: int) -> List[DromProcess]:
+        """Registered processes belonging to one job."""
+        return [p for p in self._processes.values() if p.job_id == job_id]
+
+    def get_mask(self, pid: int) -> FrozenSet[int]:
+        """Current CPU mask of a task."""
+        if pid not in self._processes:
+            raise DromError(f"unknown pid {pid}")
+        return self._processes[pid].cpu_mask
+
+    def job_cpus(self, job_id: int) -> FrozenSet[int]:
+        """Union of the CPU masks of a job's tasks on this node."""
+        cpus: set = set()
+        for proc in self.processes_of(job_id):
+            cpus.update(proc.cpu_mask)
+        return frozenset(cpus)
+
+    # ------------------------------------------------------------------ #
+    # DROM_set_mask
+    # ------------------------------------------------------------------ #
+    def set_mask(self, pid: int, cpu_mask: Iterable[int]) -> None:
+        """Change the CPU mask of a task (takes effect at the next
+        malleability point of the application — instantaneous here)."""
+        if pid not in self._processes:
+            raise DromError(f"unknown pid {pid}")
+        mask = frozenset(cpu_mask)
+        self._validate_mask(mask)
+        proc = self._processes[pid]
+        proc.cpu_mask = mask
+        proc.mask_updates += 1
+
+    def set_job_mask(self, job_id: int, cpu_mask: Iterable[int]) -> None:
+        """Distribute a job-level CPU set evenly over the job's tasks."""
+        procs = self.processes_of(job_id)
+        if not procs:
+            raise DromError(f"job {job_id} has no registered processes")
+        cores = sorted(cpu_mask)
+        self._validate_mask(frozenset(cores))
+        chunks = _split_evenly(cores, len(procs))
+        for proc, chunk in zip(procs, chunks):
+            proc.cpu_mask = frozenset(chunk)
+            proc.mask_updates += 1
+
+    # ------------------------------------------------------------------ #
+    def overlapping_masks(self) -> List[Tuple[int, int]]:
+        """Pairs of pids whose CPU masks overlap (should always be empty)."""
+        procs = list(self._processes.values())
+        overlaps: List[Tuple[int, int]] = []
+        for i, a in enumerate(procs):
+            for b in procs[i + 1 :]:
+                if a.cpu_mask & b.cpu_mask:
+                    overlaps.append((a.pid, b.pid))
+        return overlaps
+
+    def _validate_mask(self, mask: FrozenSet[int]) -> None:
+        for cpu in mask:
+            if cpu < 0 or cpu >= self.total_cpus:
+                raise DromError(f"cpu {cpu} outside node range 0..{self.total_cpus - 1}")
+
+
+def _split_evenly(items: List[int], parts: int) -> List[List[int]]:
+    """Split a list into ``parts`` contiguous chunks of near-equal size."""
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    base, extra = divmod(len(items), parts)
+    chunks: List[List[int]] = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        chunks.append(items[start : start + size])
+        start += size
+    return chunks

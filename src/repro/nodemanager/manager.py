@@ -1,0 +1,163 @@
+"""Node manager: the ``slurmd``/``slurmstepd`` logic of Listing 3.
+
+One :class:`NodeManager` instance manages one compute node.  It keeps the
+DROM registry and the per-job core assignments consistent with the
+scheduler-level CPU counts:
+
+* when a job is launched on the node (statically or as a co-scheduled
+  guest), the manager recomputes the affinities of *all* jobs on the node —
+  shrinking the owners through DROM and launching the new job's tasks on the
+  freed cores;
+* when a job ends, its cores are returned to their owner if the owner is
+  still running, or redistributed to the remaining jobs otherwise;
+* socket isolation and per-task balance are delegated to
+  :func:`repro.nodemanager.affinity.distribute_cpus`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.nodemanager.affinity import CoreAssignment, distribute_cpus
+from repro.nodemanager.drom import DromRegistry
+
+
+class NodeManagerError(RuntimeError):
+    """Raised on inconsistent node-manager operations."""
+
+
+class NodeManager:
+    """Per-node manager coordinating DROM masks and core assignments.
+
+    Parameters
+    ----------
+    node_id:
+        Identifier of the managed node (for error messages and reports).
+    sockets / cores_per_socket:
+        Node geometry.
+    """
+
+    def __init__(self, node_id: int, sockets: int = 2, cores_per_socket: int = 24) -> None:
+        self.node_id = node_id
+        self.sockets = sockets
+        self.cores_per_socket = cores_per_socket
+        self.drom = DromRegistry(total_cpus=sockets * cores_per_socket)
+        # job_id -> requested cpu count on this node (the scheduler's view).
+        self._cpu_counts: Dict[int, int] = {}
+        # job_id -> number of tasks (MPI ranks) of the job on this node.
+        self._tasks: Dict[int, int] = {}
+        # job_id -> current concrete core assignment.
+        self.assignments: Dict[int, CoreAssignment] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_cpus(self) -> int:
+        """Total core count of the node."""
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def jobs(self) -> List[int]:
+        """Jobs currently holding cores on the node."""
+        return list(self._cpu_counts)
+
+    def cpus_of(self, job_id: int) -> int:
+        """Scheduler-level CPU count currently granted to a job."""
+        return self._cpu_counts.get(job_id, 0)
+
+    # ------------------------------------------------------------------ #
+    # Listing 3: job launch
+    # ------------------------------------------------------------------ #
+    def launch_job(self, job_id: int, cpus: int, tasks: int = 1) -> CoreAssignment:
+        """Launch a job on the node with ``cpus`` CPUs and ``tasks`` ranks.
+
+        The existing jobs keep their CPU counts; the caller must first apply
+        any shrink decided by the scheduler via :meth:`set_job_cpus`.
+        """
+        if job_id in self._cpu_counts:
+            raise NodeManagerError(f"node {self.node_id}: job {job_id} already running here")
+        if cpus <= 0 or tasks <= 0:
+            raise NodeManagerError("cpus and tasks must be positive")
+        used = sum(self._cpu_counts.values())
+        if used + cpus > self.total_cpus:
+            raise NodeManagerError(
+                f"node {self.node_id}: launching job {job_id} with {cpus} cpus "
+                f"exceeds capacity ({used} already in use of {self.total_cpus})"
+            )
+        self._cpu_counts[job_id] = cpus
+        self._tasks[job_id] = tasks
+        self._redistribute()
+        # Register the new job's tasks in the DROM space with their masks.
+        assignment = self.assignments[job_id]
+        chunk = max(1, assignment.num_cores // tasks)
+        cores = list(assignment.cores)
+        for t in range(tasks):
+            mask = cores[t * chunk : (t + 1) * chunk] or cores[-1:]
+            self.drom.register(job_id, mask)
+        return assignment
+
+    def set_job_cpus(self, job_id: int, cpus: int) -> CoreAssignment:
+        """Shrink or expand a job already running on the node."""
+        if job_id not in self._cpu_counts:
+            raise NodeManagerError(f"node {self.node_id}: job {job_id} not running here")
+        if cpus <= 0:
+            raise NodeManagerError("cpus must be positive")
+        others = sum(c for j, c in self._cpu_counts.items() if j != job_id)
+        if others + cpus > self.total_cpus:
+            raise NodeManagerError(
+                f"node {self.node_id}: resizing job {job_id} to {cpus} cpus exceeds capacity"
+            )
+        self._cpu_counts[job_id] = cpus
+        self._redistribute()
+        return self.assignments[job_id]
+
+    # ------------------------------------------------------------------ #
+    # Listing 3: job end
+    # ------------------------------------------------------------------ #
+    def end_job(self, job_id: int, redistribute: bool = True) -> None:
+        """Remove a job from the node and hand its cores back.
+
+        With ``redistribute=True`` (the paper's behaviour) the freed cores
+        are given to the jobs remaining on the node, keeping them balanced;
+        otherwise they are simply left idle.
+        """
+        if job_id not in self._cpu_counts:
+            raise NodeManagerError(f"node {self.node_id}: job {job_id} not running here")
+        freed = self._cpu_counts.pop(job_id)
+        self._tasks.pop(job_id, None)
+        self.assignments.pop(job_id, None)
+        self.drom.clean_job(job_id)
+        if redistribute and self._cpu_counts:
+            share, remainder = divmod(freed, len(self._cpu_counts))
+            for i, other in enumerate(sorted(self._cpu_counts)):
+                self._cpu_counts[other] += share + (1 if i < remainder else 0)
+        if self._cpu_counts:
+            self._redistribute()
+
+    # ------------------------------------------------------------------ #
+    def _redistribute(self) -> None:
+        """Recompute every job's core assignment and push masks via DROM."""
+        self.assignments = distribute_cpus(
+            self._cpu_counts, sockets=self.sockets, cores_per_socket=self.cores_per_socket
+        )
+        for job_id, assignment in self.assignments.items():
+            if self.drom.processes_of(job_id):
+                self.drom.set_job_mask(job_id, assignment.cores)
+
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check that assignments are disjoint and sizes match the counts."""
+        seen: set = set()
+        for job_id, assignment in self.assignments.items():
+            if assignment.num_cores != self._cpu_counts[job_id]:
+                raise AssertionError(
+                    f"node {self.node_id}: job {job_id} assignment size "
+                    f"{assignment.num_cores} != granted {self._cpu_counts[job_id]}"
+                )
+            overlap = seen.intersection(assignment.cores)
+            if overlap:
+                raise AssertionError(
+                    f"node {self.node_id}: overlapping cores {sorted(overlap)}"
+                )
+            seen.update(assignment.cores)
+        if self.drom.overlapping_masks():
+            raise AssertionError(f"node {self.node_id}: overlapping DROM masks")

@@ -1,0 +1,16 @@
+"""Scheduling policies.
+
+* :class:`repro.schedulers.fcfs.FCFSScheduler` — plain first-come
+  first-served without backfill.
+* :class:`repro.schedulers.backfill.BackfillScheduler` — the paper's
+  *static backfill* baseline (conservative backfill over whole-node,
+  exclusive allocations, SLURM ``sched/backfill`` style).
+* :class:`repro.core.sd_policy.SDPolicyScheduler` — the paper's
+  contribution, re-exported here for convenience.
+"""
+
+from repro.schedulers.backfill import BackfillScheduler
+from repro.schedulers.base import Scheduler
+from repro.schedulers.fcfs import FCFSScheduler
+
+__all__ = ["Scheduler", "FCFSScheduler", "BackfillScheduler"]

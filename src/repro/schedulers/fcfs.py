@@ -1,0 +1,29 @@
+"""First-come first-served scheduling (no backfill).
+
+Provided as the simplest possible baseline and as a correctness reference
+for the simulator: under FCFS, job start order must follow submission order
+exactly, which several tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.schedulers.base import Scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulator.simulation import Simulation
+
+
+class FCFSScheduler(Scheduler):
+    """Strict FCFS: start pending jobs in priority order, stop at the first
+    job that does not fit."""
+
+    name = "fcfs"
+
+    def schedule(self, sim: "Simulation") -> None:
+        for job in sim.pending.ordered():
+            if sim.cluster.can_allocate(job):
+                sim.start_job_static(job)
+            else:
+                break

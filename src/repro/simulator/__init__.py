@@ -1,0 +1,33 @@
+"""Discrete-event HPC cluster simulator.
+
+This package is the substrate on which the SD-Policy reproduction runs.  It
+plays the role of the BSC SLURM simulator used in the paper: it models a
+cluster of multi-socket nodes, a priority job queue, a pluggable scheduler,
+and an event-driven clock, and it records per-job timing needed for the
+paper's metrics (wait time, response time, slowdown, makespan, energy).
+
+The public entry point is :class:`repro.simulator.simulation.Simulation`.
+"""
+
+from repro.simulator.cluster import Cluster
+from repro.simulator.engine import Event, EventQueue, EventType
+from repro.simulator.job import Job, JobState, ResourceSlot
+from repro.simulator.node import Node
+from repro.simulator.pending_queue import PendingQueue
+from repro.simulator.reservation import ReservationMap
+from repro.simulator.simulation import Simulation, SimulationResult
+
+__all__ = [
+    "Cluster",
+    "Event",
+    "EventQueue",
+    "EventType",
+    "Job",
+    "JobState",
+    "Node",
+    "PendingQueue",
+    "ReservationMap",
+    "ResourceSlot",
+    "Simulation",
+    "SimulationResult",
+]

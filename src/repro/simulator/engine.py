@@ -1,0 +1,98 @@
+"""Discrete-event engine: event types, the event and the event queue.
+
+The engine is intentionally tiny — a binary heap keyed by ``(time, priority,
+serial)`` — because the complexity of the reproduction lives in the
+schedulers, not in the event plumbing.  Events are never removed from the
+heap; instead, components that reschedule work (e.g. a job whose end time
+moved because it was shrunk) bump a *serial* number on the job and stale
+events are discarded when popped.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+class EventType(enum.IntEnum):
+    """Kinds of events the simulation processes.
+
+    The integer values double as tie-break priorities for events that share
+    a timestamp: ends are processed before submits so that resources freed
+    at time *t* are visible to jobs arriving at *t*, and explicit schedule
+    triggers run last once the system state for the instant is settled.
+    """
+
+    JOB_END = 0
+    JOB_SUBMIT = 1
+    SCHEDULE = 2
+
+
+@dataclass(order=True)
+class Event:
+    """A single simulation event.
+
+    Events order by ``(time, type priority, serial)``; the payload is not
+    part of the ordering.
+    """
+
+    time: float
+    type_priority: int
+    serial: int
+    event_type: EventType = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+    # For JOB_END events: the job's ``end_event_serial`` at scheduling time.
+    # A mismatch at pop time means the job was reconfigured and this event is
+    # stale.
+    validity_token: int = field(compare=False, default=0)
+
+
+class EventQueue:
+    """A time-ordered queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(
+        self,
+        time: float,
+        event_type: EventType,
+        payload: Any = None,
+        validity_token: int = 0,
+    ) -> Event:
+        """Add an event; returns the created :class:`Event`."""
+        if time != time or time < 0:  # NaN or negative
+            raise ValueError(f"invalid event time {time!r}")
+        event = Event(
+            time=time,
+            type_priority=int(event_type),
+            serial=next(self._counter),
+            event_type=event_type,
+            payload=payload,
+            validity_token=validity_token,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Optional[Event]:
+        """Return the earliest event without removing it (or ``None``)."""
+        return self._heap[0] if self._heap else None
+
+    def drain(self) -> Iterator[Event]:
+        """Pop every remaining event in order (used by tests)."""
+        while self._heap:
+            yield self.pop()

@@ -1,0 +1,72 @@
+"""Pending-job queue.
+
+SLURM keeps submitted-but-not-started jobs in a priority queue; the paper's
+workloads use FIFO priority (priority = submission order) with backfill
+allowed to start lower-priority jobs out of order when they do not delay the
+highest-priority waiting job.  This module provides that queue with stable
+ordering and O(1) membership checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.simulator.job import Job
+
+
+class PendingQueue:
+    """Priority-ordered collection of pending jobs.
+
+    Jobs are ordered by ``(-priority, submit_time, job_id)``.  With the
+    default priority (negative submit time) this is plain FIFO order.
+    """
+
+    def __init__(self) -> None:
+        self._jobs: Dict[int, Job] = {}
+        # Fast path: with default (FIFO) priorities and time-ordered
+        # insertion, the dict's insertion order already is the scheduling
+        # order, so ``ordered()`` can skip the sort.  Any job with a custom
+        # priority disables the fast path for the queue's lifetime.
+        self._fifo_only = True
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __bool__(self) -> bool:
+        return bool(self._jobs)
+
+    def __contains__(self, job_id: int) -> bool:
+        return job_id in self._jobs
+
+    def add(self, job: Job) -> None:
+        """Insert a job; re-inserting the same job id is an error."""
+        if job.job_id in self._jobs:
+            raise ValueError(f"job {job.job_id} already pending")
+        if job.priority != -job.submit_time:
+            self._fifo_only = False
+        self._jobs[job.job_id] = job
+
+    def remove(self, job_id: int) -> Job:
+        """Remove and return the job with the given id."""
+        return self._jobs.pop(job_id)
+
+    def get(self, job_id: int) -> Optional[Job]:
+        """Return the pending job with the given id, or ``None``."""
+        return self._jobs.get(job_id)
+
+    def ordered(self) -> List[Job]:
+        """Jobs in scheduling priority order (highest priority first)."""
+        if self._fifo_only:
+            return list(self._jobs.values())
+        return sorted(
+            self._jobs.values(),
+            key=lambda j: (-j.priority, j.submit_time, j.job_id),
+        )
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.ordered())
+
+    def head(self) -> Optional[Job]:
+        """The highest-priority pending job, or ``None`` if empty."""
+        order = self.ordered()
+        return order[0] if order else None

@@ -1,0 +1,198 @@
+"""Future-availability profile ("reservation map").
+
+The scheduler needs two forward-looking quantities:
+
+* ``estimate_start_time`` — when would a job of ``W`` nodes be able to start,
+  given the *predicted* end times of the jobs currently running (SLURM, like
+  the paper, predicts with the user-requested wall time)?  SD-Policy uses
+  this to compute ``static_end`` (Listing 1).
+* a *shadow* reservation for every waiting job examined by the backfill
+  pass, so lower-priority jobs can only start now when they do not delay a
+  higher-priority one (conservative backfill, SLURM ``sched/backfill``
+  style).
+
+Both are answered by :class:`ReservationMap`, a step-function profile of
+free-node counts over future time built from the running jobs plus any
+explicit reservations added during a backfill pass.  The profile arithmetic
+is vectorised with NumPy because ``earliest_start`` sits on the simulator's
+hottest path (it runs once per examined job per scheduling pass).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import insort
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.simulator.job import Job, JobState
+
+
+class ReservationMap:
+    """Step-function profile of future node availability.
+
+    Parameters
+    ----------
+    total_nodes:
+        Number of nodes in the cluster.
+    now:
+        Current simulation time; the profile starts at this instant.
+    free_now:
+        Number of nodes free at ``now``.
+    releases:
+        Iterable of ``(time, nodes)`` pairs: at ``time``, ``nodes`` nodes are
+        expected to become free (a running job's predicted end).
+    """
+
+    def __init__(
+        self,
+        total_nodes: int,
+        now: float,
+        free_now: int,
+        releases: Iterable[Tuple[float, int]] = (),
+    ) -> None:
+        if free_now < 0 or free_now > total_nodes:
+            raise ValueError(f"free_now={free_now} out of range 0..{total_nodes}")
+        self.total_nodes = total_nodes
+        self.now = now
+        # Sorted list of (time, delta_free_nodes) change points.
+        self._changes: List[Tuple[float, int]] = []
+        self._free_now = free_now
+        self._cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        for time, nodes in releases:
+            self.add_release(time, nodes)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_running_jobs(
+        cls,
+        total_nodes: int,
+        now: float,
+        free_now: int,
+        running_jobs: Iterable[Job],
+        use_requested_time: bool = True,
+    ) -> "ReservationMap":
+        """Build the profile from the currently running jobs.
+
+        ``use_requested_time=True`` predicts each running job's end as
+        ``start + requested_time`` (what a real scheduler can know);
+        ``False`` uses the simulator's exact predicted end (oracle mode,
+        useful for experiments on prediction accuracy such as the paper's
+        Workload 2).
+        """
+        releases: List[Tuple[float, int]] = []
+        for job in running_jobs:
+            if job.state is not JobState.RUNNING or job.start_time is None:
+                continue
+            if use_requested_time:
+                end = job.start_time + job.requested_time
+            else:
+                end = job.predicted_end_time(now)
+            if not math.isfinite(end):
+                end = job.start_time + job.requested_time
+            end = max(end, now)
+            releases.append((end, len(job.allocated_nodes)))
+        return cls(total_nodes, now, free_now, releases)
+
+    # ------------------------------------------------------------------ #
+    def add_release(self, time: float, nodes: int) -> None:
+        """Record that ``nodes`` nodes become free at ``time``."""
+        if nodes <= 0:
+            return
+        insort(self._changes, (max(time, self.now), nodes))
+        self._cache = None
+
+    def add_reservation(self, start: float, duration: float, nodes: int) -> None:
+        """Reserve ``nodes`` nodes in ``[start, start+duration)``.
+
+        Used during a backfill pass to account for jobs the current pass has
+        already decided to start (or reserved a future slot for), so later
+        candidates in the same pass see a consistent picture.
+        """
+        if nodes <= 0:
+            return
+        start = max(start, self.now)
+        insort(self._changes, (start, -nodes))
+        if math.isfinite(duration):
+            insort(self._changes, (start + duration, nodes))
+        self._cache = None
+
+    # ------------------------------------------------------------------ #
+    def _arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, free_nodes) arrays of the step function, first point = now."""
+        if self._cache is None:
+            if self._changes:
+                times = np.fromiter((t for t, _ in self._changes), dtype=float,
+                                    count=len(self._changes))
+                deltas = np.fromiter((d for _, d in self._changes), dtype=float,
+                                     count=len(self._changes))
+                free = np.clip(self._free_now + np.cumsum(deltas), 0, self.total_nodes)
+                times = np.concatenate(([self.now], times))
+                free = np.concatenate(([float(self._free_now)], free))
+                # Collapse duplicate timestamps (keep the last value at a time).
+                keep = np.ones(len(times), dtype=bool)
+                keep[:-1] = times[1:] != times[:-1]
+                times, free = times[keep], free[keep]
+            else:
+                times = np.array([self.now])
+                free = np.array([float(self._free_now)])
+            self._cache = (times, free)
+        return self._cache
+
+    def free_nodes_at(self, time: float) -> int:
+        """Free-node count at a given future time (according to the profile)."""
+        times, free = self._arrays()
+        idx = int(np.searchsorted(times, time, side="right")) - 1
+        idx = max(0, idx)
+        return int(free[idx])
+
+    def profile(self) -> List[Tuple[float, int]]:
+        """The availability step function as ``[(time, free_nodes), ...]``.
+
+        The first entry is at :attr:`now`; subsequent entries are change
+        points in increasing time order.
+        """
+        times, free = self._arrays()
+        return [(float(t), int(f)) for t, f in zip(times, free)]
+
+    def earliest_start(self, nodes_needed: int, duration: Optional[float] = None) -> float:
+        """Earliest time at which ``nodes_needed`` nodes are simultaneously free.
+
+        If ``duration`` is given, the availability must hold for the whole
+        interval ``[t, t + duration)`` (needed to honour reservations that
+        temporarily take nodes away).  Returns ``math.inf`` when the request
+        can never be satisfied (more nodes than the cluster has, or the
+        profile never frees enough).
+        """
+        if nodes_needed > self.total_nodes:
+            return math.inf
+        if nodes_needed <= 0:
+            return self.now
+        times, free = self._arrays()
+        n = len(times)
+        ok = free >= nodes_needed
+        if duration is None or not math.isfinite(duration):
+            hits = np.flatnonzero(ok)
+            return float(times[hits[0]]) if hits.size else math.inf
+        idx = 0
+        while idx < n:
+            if not ok[idx]:
+                idx += 1
+                continue
+            end = times[idx] + duration
+            j = int(np.searchsorted(times, end, side="left"))
+            bad = np.flatnonzero(~ok[idx:j])
+            if bad.size == 0:
+                return float(times[idx])
+            # Every start up to the last violation also fails; jump past it.
+            idx = idx + int(bad[-1]) + 1
+        return math.inf
+
+    def estimate_wait(self, job: Job, duration: Optional[float] = None) -> float:
+        """Estimated queue wait for the job (0 if it could start now)."""
+        dur = duration if duration is not None else job.requested_time
+        start = self.earliest_start(job.requested_nodes, dur)
+        if not math.isfinite(start):
+            return math.inf
+        return max(0.0, start - self.now)

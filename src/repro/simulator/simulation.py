@@ -1,0 +1,382 @@
+"""Simulation driver: couples workload, cluster, scheduler and metrics.
+
+The driver mirrors the structure of the BSC SLURM simulator used by the
+paper: job submission and job end events drive the clock; after every batch
+of events at an instant the scheduler (the "controller") runs one scheduling
+pass over the pending queue; the scheduler starts jobs through the driver's
+allocation primitives, which also maintain each job's resource history and
+the cluster-wide energy integration.
+
+The driver is policy-agnostic.  The static backfill baseline and SD-Policy
+are plugged in through the :class:`repro.schedulers.base.Scheduler`
+interface.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.simulator.cluster import Cluster
+from repro.simulator.engine import Event, EventQueue, EventType
+from repro.simulator.job import Job, JobState
+from repro.simulator.pending_queue import PendingQueue
+from repro.simulator.reservation import ReservationMap
+
+
+class _FullAllocationSpeedModel:
+    """Default runtime model: speed scales with the worst (most shrunk) node.
+
+    Matches the paper's *worst case* model (Eq. 6): a statically balanced
+    job progresses at the pace of the node on which it holds the fewest
+    CPUs relative to the per-node width of its static allocation.  With a
+    full static allocation the speed is exactly 1.0, so static-only
+    simulations behave as a classic rigid-job simulator.
+    """
+
+    name = "worst_case"
+
+    def speed(self, job: Job, cpus_per_node: Dict[int, int]) -> float:
+        if not cpus_per_node:
+            return 0.0
+        per_node_request = job.requested_cpus / max(1, job.requested_nodes)
+        if per_node_request <= 0:
+            return 1.0
+        ideal_cap = sum(cpus_per_node.values()) / job.requested_cpus
+        worst = min(cpus_per_node.values()) / per_node_request
+        return min(1.0, worst, ideal_cap)
+
+
+class _DefaultPowerModel:
+    """Linear node power model: idle + (peak - idle) * utilisation."""
+
+    def __init__(self, idle_watts: float = 120.0, peak_watts: float = 400.0) -> None:
+        self.idle_watts = idle_watts
+        self.peak_watts = peak_watts
+
+    def power(self, cluster: Cluster) -> float:
+        util = cluster.used_cpus / cluster.total_cpus if cluster.total_cpus else 0.0
+        return cluster.num_nodes * (
+            self.idle_watts + (self.peak_watts - self.idle_watts) * util
+        )
+
+
+def _workload_energy(
+    jobs: List[Job],
+    num_nodes: int,
+    cpus_per_node: int,
+    idle_watts: float,
+    peak_watts: float,
+    first_submit: float,
+    last_end: float,
+) -> float:
+    """Energy to run the workload: idle power of every node over the
+    makespan window plus the dynamic power of every assigned CPU-second.
+
+    Computed post-hoc from the completed jobs' resource histories so the
+    figure is independent of how simulation events happened to be ordered
+    (in particular it is unaffected by stale end events left in the heap
+    after reconfigurations).
+    """
+    if not jobs or last_end <= first_submit:
+        return 0.0
+    idle_energy = num_nodes * idle_watts * (last_end - first_submit)
+    per_cpu = (peak_watts - idle_watts) / cpus_per_node
+    dynamic = 0.0
+    for job in jobs:
+        for slot in job.resource_history:
+            duration = slot.duration
+            if duration > 0 and math.isfinite(duration):
+                dynamic += slot.total_cpus * duration
+    return idle_energy + per_cpu * dynamic
+
+
+@dataclass
+class SimulationResult:
+    """Summary of one simulation run.
+
+    The per-job detail lives in :attr:`jobs`; the aggregate metrics the
+    paper reports (makespan, average response time, average slowdown,
+    energy) are computed lazily by :mod:`repro.metrics` from these records,
+    but the most common ones are also precomputed here for convenience.
+    """
+
+    jobs: List[Job]
+    makespan: float
+    avg_response_time: float
+    avg_slowdown: float
+    avg_wait_time: float
+    energy_joules: float
+    malleable_scheduled_jobs: int
+    mate_jobs: int
+    scheduler_name: str
+    total_events: int
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def num_jobs(self) -> int:
+        """Number of completed jobs in the run."""
+        return len(self.jobs)
+
+
+class Simulation:
+    """Event-driven simulation of a workload on a cluster under a scheduler.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster to schedule onto.
+    scheduler:
+        Any object implementing the :class:`repro.schedulers.base.Scheduler`
+        protocol.
+    runtime_model:
+        Object with ``speed(job, cpus_per_node) -> float`` used to translate
+        resource configurations into execution speed.  Defaults to the
+        paper's worst-case model; pass
+        :class:`repro.core.runtime_model.IdealRuntimeModel` for the ideal
+        model of Eq. 5.
+    power_model:
+        Object with ``power(cluster) -> watts``; energy is integrated over
+        the run.  Pass ``None`` to disable energy accounting.
+    use_requested_time_for_predictions:
+        If True (default, like SLURM) the availability profile used for wait
+        time estimation predicts running jobs to end at
+        ``start + requested_time``; if False the simulator's exact end times
+        are used (oracle predictions).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        scheduler,
+        runtime_model=None,
+        power_model=_DefaultPowerModel(),
+        use_requested_time_for_predictions: bool = True,
+    ) -> None:
+        self.cluster = cluster
+        self.scheduler = scheduler
+        self.runtime_model = runtime_model or _FullAllocationSpeedModel()
+        self.power_model = power_model
+        self.use_requested_time_for_predictions = use_requested_time_for_predictions
+
+        self.events = EventQueue()
+        self.pending = PendingQueue()
+        self.jobs: Dict[int, Job] = {}
+        self.running: Dict[int, Job] = {}
+        self.completed: List[Job] = []
+
+        self.now: float = 0.0
+        self._total_events: int = 0
+        self._first_submit: Optional[float] = None
+        self._last_end: float = 0.0
+
+        if hasattr(self.scheduler, "bind"):
+            self.scheduler.bind(self)
+
+    # ------------------------------------------------------------------ #
+    # Workload loading
+    # ------------------------------------------------------------------ #
+    def submit_jobs(self, jobs: Iterable[Job]) -> None:
+        """Register jobs and queue their submission events."""
+        for job in jobs:
+            if job.job_id in self.jobs:
+                raise ValueError(f"duplicate job id {job.job_id}")
+            if job.requested_nodes > self.cluster.num_nodes:
+                raise ValueError(
+                    f"job {job.job_id} requests {job.requested_nodes} nodes but the "
+                    f"cluster only has {self.cluster.num_nodes}"
+                )
+            self.jobs[job.job_id] = job
+            self.events.push(job.submit_time, EventType.JOB_SUBMIT, payload=job.job_id)
+            if self._first_submit is None or job.submit_time < self._first_submit:
+                self._first_submit = job.submit_time
+
+    # ------------------------------------------------------------------ #
+    # Primitives used by schedulers
+    # ------------------------------------------------------------------ #
+    def availability_profile(self, extra_running: Iterable[Job] = ()) -> ReservationMap:
+        """Build the future free-node profile from the running jobs."""
+        running = list(self.running.values()) + list(extra_running)
+        return ReservationMap.from_running_jobs(
+            total_nodes=self.cluster.num_nodes,
+            now=self.now,
+            free_now=self.cluster.num_free_nodes,
+            running_jobs=running,
+            use_requested_time=self.use_requested_time_for_predictions,
+        )
+
+    def start_job_static(self, job: Job, node_ids: Optional[Sequence[int]] = None) -> List[int]:
+        """Start a job on an exclusive whole-node allocation."""
+        if job.job_id not in self.pending:
+            raise RuntimeError(f"job {job.job_id} is not pending")
+        nodes = self.cluster.allocate_static(job, node_ids)
+        self.pending.remove(job.job_id)
+        job.mark_started(self.now, nodes)
+        cpus = {nid: self.cluster.node(nid).total_cpus for nid in nodes}
+        speed = self.runtime_model.speed(job, cpus)
+        job.reconfigure(self.now, cpus, speed)
+        self.running[job.job_id] = job
+        self._push_end_event(job)
+        return nodes
+
+    def start_job_shared(
+        self,
+        job: Job,
+        cpus_per_node: Dict[int, int],
+        mates: Sequence[Job] = (),
+    ) -> List[int]:
+        """Start a malleable job co-scheduled on (partially) shared nodes.
+
+        The CPUs in ``cpus_per_node`` must already be free — the caller is
+        responsible for shrinking the mate jobs first (see
+        :meth:`reconfigure_job`).
+        """
+        if job.job_id not in self.pending:
+            raise RuntimeError(f"job {job.job_id} is not pending")
+        nodes = self.cluster.allocate_shared(job, cpus_per_node)
+        self.pending.remove(job.job_id)
+        job.mark_started(self.now, nodes)
+        speed = self.runtime_model.speed(job, cpus_per_node)
+        job.reconfigure(self.now, cpus_per_node, speed)
+        job.scheduled_malleable = True
+        job.guest_of = [m.job_id for m in mates]
+        for mate in mates:
+            if job.job_id not in mate.mates:
+                mate.mates.append(job.job_id)
+            mate.was_mate = True
+        self.running[job.job_id] = job
+        self._push_end_event(job)
+        return nodes
+
+    def reconfigure_job(self, job: Job, cpus_per_node: Dict[int, int]) -> None:
+        """Shrink or expand a running job to a new per-node CPU map.
+
+        The map is the *complete* new allocation of the job: nodes missing
+        from the map are released, nodes present are resized (or newly
+        acquired if the CPUs are free).
+        """
+        if job.state is not JobState.RUNNING:
+            raise RuntimeError(f"job {job.job_id} is not running")
+        if not cpus_per_node:
+            raise ValueError(f"job {job.job_id}: cannot reconfigure to an empty allocation")
+        self.cluster.reconfigure_allocation(job.job_id, cpus_per_node)
+        job.allocated_nodes = sorted(cpus_per_node)
+        speed = self.runtime_model.speed(job, cpus_per_node)
+        job.reconfigure(self.now, cpus_per_node, speed)
+        self._push_end_event(job)
+
+    # ------------------------------------------------------------------ #
+    # Event processing
+    # ------------------------------------------------------------------ #
+    def _push_end_event(self, job: Job) -> None:
+        end = job.predicted_end_time(self.now)
+        if not math.isfinite(end):
+            raise RuntimeError(
+                f"job {job.job_id}: non-finite predicted end (speed={job.current_speed})"
+            )
+        self.events.push(
+            end, EventType.JOB_END, payload=job.job_id, validity_token=job.end_event_serial
+        )
+
+    def _handle_submit(self, job_id: int) -> None:
+        job = self.jobs[job_id]
+        self.pending.add(job)
+        if hasattr(self.scheduler, "on_job_submit"):
+            self.scheduler.on_job_submit(self, job)
+
+    def _handle_end(self, job_id: int) -> None:
+        job = self.jobs[job_id]
+        job.mark_finished(self.now)
+        self.cluster.release_job(job)
+        self.running.pop(job_id, None)
+        self.completed.append(job)
+        self._last_end = max(self._last_end, self.now)
+        if hasattr(self.scheduler, "on_job_end"):
+            self.scheduler.on_job_end(self, job)
+
+    def step(self) -> bool:
+        """Process the next batch of simultaneous events; returns False when done."""
+        if not self.events:
+            return False
+        first = self.events.pop()
+        batch = [first]
+        while self.events and self.events.peek().time == first.time:
+            batch.append(self.events.pop())
+        # Order within the instant: ends, then submits, then schedule markers.
+        batch.sort(key=lambda e: (e.type_priority, e.serial))
+        self.now = first.time
+        need_schedule = False
+        for event in batch:
+            self._total_events += 1
+            if event.event_type is EventType.JOB_END:
+                job = self.jobs.get(event.payload)
+                if (
+                    job is None
+                    or job.state is not JobState.RUNNING
+                    or event.validity_token != job.end_event_serial
+                ):
+                    continue  # stale end event after a reconfiguration
+                self._handle_end(event.payload)
+                need_schedule = True
+            elif event.event_type is EventType.JOB_SUBMIT:
+                self._handle_submit(event.payload)
+                need_schedule = True
+            elif event.event_type is EventType.SCHEDULE:
+                need_schedule = True
+        if need_schedule and self.pending:
+            self.scheduler.schedule(self)
+        return True
+
+    def run(self, until: Optional[float] = None) -> SimulationResult:
+        """Run the simulation to completion (or until ``until``)."""
+        while self.events:
+            nxt = self.events.peek()
+            if until is not None and nxt.time > until:
+                break
+            self.step()
+        return self.result()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def energy_joules(self) -> float:
+        """Energy of the workload executed so far (0 without a power model)."""
+        if self.power_model is None or not self.completed:
+            return 0.0
+        idle = getattr(self.power_model, "idle_watts", 0.0)
+        peak = getattr(self.power_model, "peak_watts", idle)
+        first_submit = self._first_submit if self._first_submit is not None else 0.0
+        return _workload_energy(
+            self.completed,
+            num_nodes=self.cluster.num_nodes,
+            cpus_per_node=self.cluster.cpus_per_node,
+            idle_watts=idle,
+            peak_watts=peak,
+            first_submit=first_submit,
+            last_end=self._last_end,
+        )
+
+    def result(self) -> SimulationResult:
+        """Build the :class:`SimulationResult` for the jobs completed so far."""
+        jobs = list(self.completed)
+        first_submit = self._first_submit if self._first_submit is not None else 0.0
+        makespan = max(0.0, self._last_end - first_submit) if jobs else 0.0
+        n = len(jobs)
+        if n:
+            avg_resp = sum(j.response_time for j in jobs) / n
+            avg_sd = sum(j.slowdown for j in jobs) / n
+            avg_wait = sum(j.wait_time for j in jobs) / n
+        else:
+            avg_resp = avg_sd = avg_wait = 0.0
+        return SimulationResult(
+            jobs=jobs,
+            makespan=makespan,
+            avg_response_time=avg_resp,
+            avg_slowdown=avg_sd,
+            avg_wait_time=avg_wait,
+            energy_joules=self.energy_joules,
+            malleable_scheduled_jobs=sum(1 for j in jobs if j.scheduled_malleable),
+            mate_jobs=sum(1 for j in jobs if j.was_mate),
+            scheduler_name=getattr(self.scheduler, "name", type(self.scheduler).__name__),
+            total_events=self._total_events,
+        )

@@ -1,0 +1,60 @@
+"""Workload infrastructure.
+
+* :mod:`repro.workloads.job_record` — the log-level job record (SWF fields)
+  and the :class:`Workload` container that converts records into simulator
+  jobs;
+* :mod:`repro.workloads.swf` — Standard Workload Format parser/writer, so
+  real Parallel Workloads Archive logs can be dropped in;
+* :mod:`repro.workloads.distributions` — shared samplers (log-uniform,
+  power-of-two sizes, daily-cycle arrivals);
+* :mod:`repro.workloads.cirne` — reimplementation of the Cirne–Berman
+  supercomputer workload model (paper workloads 1, 2 and 5);
+* :mod:`repro.workloads.synthetic` — RICC-like and CEA-Curie-like synthetic
+  log generators (paper workloads 3 and 4), used because the original logs
+  cannot be redistributed / downloaded offline;
+* :mod:`repro.workloads.scaling` — utilities to scale a workload to a target
+  system size or subsample it;
+* :mod:`repro.workloads.applications` — assignment of the Table 2
+  application mix to a workload (for the real-run emulation);
+* :mod:`repro.workloads.presets` — the five paper workloads with Table 1
+  parameters, at full and benchmark-friendly reduced scale.
+"""
+
+from repro.workloads.applications import APPLICATION_MIX, assign_applications
+from repro.workloads.cirne import CirneWorkloadModel
+from repro.workloads.job_record import JobRecord, Workload
+from repro.workloads.presets import (
+    PAPER_WORKLOADS,
+    WorkloadSpec,
+    build_workload,
+    workload_1,
+    workload_2,
+    workload_3,
+    workload_4,
+    workload_5,
+)
+from repro.workloads.scaling import scale_to_system, subsample
+from repro.workloads.swf import read_swf, write_swf
+from repro.workloads.synthetic import CEACurieLikeModel, RICCLikeModel
+
+__all__ = [
+    "APPLICATION_MIX",
+    "CEACurieLikeModel",
+    "CirneWorkloadModel",
+    "JobRecord",
+    "PAPER_WORKLOADS",
+    "RICCLikeModel",
+    "Workload",
+    "WorkloadSpec",
+    "assign_applications",
+    "build_workload",
+    "read_swf",
+    "scale_to_system",
+    "subsample",
+    "workload_1",
+    "workload_2",
+    "workload_3",
+    "workload_4",
+    "workload_5",
+    "write_swf",
+]

@@ -1,0 +1,115 @@
+"""Application mix of the real-run workload (Table 2 of the paper).
+
+Workload 5 is a Cirne-model log converted into submissions of real malleable
+applications.  Table 2 lists the mix:
+
+========== =========== ============== ============ ================= =================
+Application  % workload  Req. nodes     Req. time    CPU utilisation   Memory utilisation
+========== =========== ============== ============ ================= =================
+PILS          30.5%      small→high     small/med    high              low
+STREAM        30.8%      small→high     small/med    low               high
+CoreNeuron    35.5%      small→high     small→high   high              med
+NEST           2.6%      small→high     small→high   high              med
+Alya           0.6%      small          high         high              med
+========== =========== ============== ============ ================= =================
+
+This module assigns an application label to every record of a workload,
+following the table's proportions and the size/length preferences, so the
+real-run emulation (:mod:`repro.realrun`) can apply the matching
+performance and energy models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.workloads.job_record import JobRecord, Workload
+
+
+@dataclass(frozen=True)
+class ApplicationShare:
+    """One row of Table 2: an application and its share of the workload."""
+
+    name: str
+    share: float
+    #: Preference weights (small, medium, large) over requested node counts.
+    size_preference: Tuple[float, float, float]
+    #: Preference weights (short, medium, long) over requested times.
+    time_preference: Tuple[float, float, float]
+
+
+#: The Table 2 mix.  Shares sum to 1.0 (the paper's column sums to 100%).
+APPLICATION_MIX: Sequence[ApplicationShare] = (
+    ApplicationShare("PILS", 0.305, (0.4, 0.4, 0.2), (0.5, 0.4, 0.1)),
+    ApplicationShare("STREAM", 0.308, (0.4, 0.4, 0.2), (0.5, 0.4, 0.1)),
+    ApplicationShare("CoreNeuron", 0.355, (0.3, 0.4, 0.3), (0.3, 0.4, 0.3)),
+    ApplicationShare("NEST", 0.026, (0.3, 0.4, 0.3), (0.3, 0.4, 0.3)),
+    ApplicationShare("Alya", 0.006, (0.8, 0.2, 0.0), (0.0, 0.2, 0.8)),
+)
+
+
+def _tercile_index(value: float, boundaries: Tuple[float, float]) -> int:
+    if value <= boundaries[0]:
+        return 0
+    if value <= boundaries[1]:
+        return 1
+    return 2
+
+
+def assign_applications(
+    workload: Workload,
+    mix: Sequence[ApplicationShare] = APPLICATION_MIX,
+    seed: int = 99,
+    name: Optional[str] = None,
+) -> Workload:
+    """Label every record of a workload with an application from the mix.
+
+    The assignment respects the global shares of Table 2 while biasing each
+    application towards its preferred job size and duration tercile (e.g.
+    Alya only appears on small, long jobs).
+    """
+    if not workload.records:
+        return workload
+    rng = np.random.default_rng(seed)
+    sizes = np.array([r.requested_procs for r in workload.records], dtype=float)
+    times = np.array([r.requested_time for r in workload.records], dtype=float)
+    size_bounds = (float(np.quantile(sizes, 1 / 3)), float(np.quantile(sizes, 2 / 3)))
+    time_bounds = (float(np.quantile(times, 1 / 3)), float(np.quantile(times, 2 / 3)))
+
+    shares = np.array([m.share for m in mix], dtype=float)
+    shares = shares / shares.sum()
+
+    records: List[JobRecord] = []
+    for record in workload.records:
+        s_idx = _tercile_index(record.requested_procs, size_bounds)
+        t_idx = _tercile_index(record.requested_time, time_bounds)
+        weights = np.array(
+            [
+                shares[i] * mix[i].size_preference[s_idx] * mix[i].time_preference[t_idx]
+                for i in range(len(mix))
+            ]
+        )
+        if weights.sum() <= 0:
+            weights = shares.copy()
+        weights = weights / weights.sum()
+        app = mix[int(rng.choice(len(mix), p=weights))].name
+        records.append(replace(record, application=app))
+    return Workload(
+        name=name or f"{workload.name}+apps",
+        records=records,
+        system_nodes=workload.system_nodes,
+        cpus_per_node=workload.cpus_per_node,
+    )
+
+
+def application_shares(workload: Workload) -> Dict[str, float]:
+    """Observed fraction of jobs per application label (for Table 2 checks)."""
+    counts: Dict[str, int] = {}
+    for record in workload.records:
+        label = record.application or "unlabelled"
+        counts[label] = counts.get(label, 0) + 1
+    total = max(1, len(workload.records))
+    return {k: v / total for k, v in sorted(counts.items())}

@@ -1,0 +1,196 @@
+"""Log-level job records and the Workload container.
+
+A :class:`JobRecord` mirrors one line of a Standard Workload Format (SWF)
+log — what a scheduler sees in its accounting database.  A
+:class:`Workload` is an ordered collection of records plus the description
+of the system it targets; it converts records into simulator
+:class:`repro.simulator.job.Job` objects and computes the summary statistics
+reported in Table 1 of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.simulator.job import Job
+
+
+@dataclass
+class JobRecord:
+    """One job of a workload log (SWF semantics, seconds / processor counts).
+
+    Only the fields the reproduction needs are first-class; the remaining
+    SWF columns are preserved in :attr:`extra` when parsing real logs so
+    they can be written back out unchanged.
+    """
+
+    job_id: int
+    submit_time: float
+    run_time: float
+    requested_time: float
+    requested_procs: int
+    user_id: int = 0
+    group_id: int = 0
+    executable: int = 0
+    status: int = 1
+    wait_time: float = -1.0
+    used_procs: int = -1
+    application: Optional[str] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.run_time <= 0:
+            raise ValueError(f"job {self.job_id}: run_time must be positive")
+        if self.requested_time <= 0:
+            raise ValueError(f"job {self.job_id}: requested_time must be positive")
+        if self.requested_procs <= 0:
+            raise ValueError(f"job {self.job_id}: requested_procs must be positive")
+        if self.submit_time < 0:
+            raise ValueError(f"job {self.job_id}: submit_time must be non-negative")
+
+    def requested_nodes(self, cpus_per_node: int) -> int:
+        """Whole nodes needed on a machine with the given node width."""
+        return max(1, math.ceil(self.requested_procs / cpus_per_node))
+
+    def area(self) -> float:
+        """Processor-seconds of the job (run_time × requested processors)."""
+        return self.run_time * self.requested_procs
+
+
+@dataclass
+class Workload:
+    """An ordered collection of job records targeting a specific system."""
+
+    name: str
+    records: List[JobRecord]
+    system_nodes: int
+    cpus_per_node: int
+
+    def __post_init__(self) -> None:
+        self.records = sorted(self.records, key=lambda r: (r.submit_time, r.job_id))
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[JobRecord]:
+        return iter(self.records)
+
+    @property
+    def system_cpus(self) -> int:
+        """Total CPU count of the target system."""
+        return self.system_nodes * self.cpus_per_node
+
+    @property
+    def span(self) -> float:
+        """Time between the first and the last submission (seconds)."""
+        if not self.records:
+            return 0.0
+        return self.records[-1].submit_time - self.records[0].submit_time
+
+    @property
+    def max_job_nodes(self) -> int:
+        """Largest per-job node request in the workload."""
+        if not self.records:
+            return 0
+        return max(r.requested_nodes(self.cpus_per_node) for r in self.records)
+
+    def offered_load(self) -> float:
+        """Total work divided by system capacity over the submission span.
+
+        Values near (or above) 1.0 indicate a saturated system, which is the
+        regime in which backfill and SD-Policy differences matter.
+        """
+        if not self.records or self.span <= 0:
+            return 0.0
+        work = sum(r.area() for r in self.records)
+        return work / (self.system_cpus * self.span)
+
+    # ------------------------------------------------------------------ #
+    def to_jobs(
+        self,
+        cpus_per_node: Optional[int] = None,
+        malleable_fraction: float = 1.0,
+        tasks_per_node: int = 1,
+        seed: int = 0,
+    ) -> List[Job]:
+        """Convert the records into simulator jobs.
+
+        Parameters
+        ----------
+        cpus_per_node:
+            Node width of the simulated cluster (defaults to the workload's
+            own system description).
+        malleable_fraction:
+            Probability that a job is malleable (the paper's simulations use
+            1.0; mixed workloads are supported by SD-Policy).
+        tasks_per_node:
+            MPI ranks per node assumed for the minimum-shrink constraint.
+        seed:
+            Seed for the malleability assignment when the fraction is < 1.
+        """
+        width = cpus_per_node or self.cpus_per_node
+        rng = np.random.default_rng(seed)
+        if not 0.0 <= malleable_fraction <= 1.0:
+            raise ValueError("malleable_fraction must be within [0, 1]")
+        jobs: List[Job] = []
+        for record in self.records:
+            malleable = bool(rng.random() < malleable_fraction)
+            jobs.append(
+                Job(
+                    job_id=record.job_id,
+                    submit_time=record.submit_time,
+                    requested_nodes=record.requested_nodes(width),
+                    requested_time=record.requested_time,
+                    static_runtime=min(record.run_time, record.requested_time),
+                    cpus_per_node=width,
+                    malleable=malleable,
+                    tasks_per_node=tasks_per_node,
+                    user=record.user_id,
+                    group=record.group_id,
+                    application=record.application,
+                )
+            )
+        return jobs
+
+    # ------------------------------------------------------------------ #
+    def filter(self, predicate: Callable[[JobRecord], bool], name: Optional[str] = None) -> "Workload":
+        """A new workload containing only the records matching the predicate."""
+        return Workload(
+            name=name or f"{self.name}[filtered]",
+            records=[r for r in self.records if predicate(r)],
+            system_nodes=self.system_nodes,
+            cpus_per_node=self.cpus_per_node,
+        )
+
+    def head(self, count: int, name: Optional[str] = None) -> "Workload":
+        """A new workload with only the first ``count`` records."""
+        return Workload(
+            name=name or f"{self.name}[:{count}]",
+            records=[replace(r) for r in self.records[:count]],
+            system_nodes=self.system_nodes,
+            cpus_per_node=self.cpus_per_node,
+        )
+
+    def describe(self) -> Dict[str, float]:
+        """Summary statistics in the spirit of Table 1."""
+        if not self.records:
+            return {"jobs": 0}
+        nodes = [r.requested_nodes(self.cpus_per_node) for r in self.records]
+        runtimes = [r.run_time for r in self.records]
+        return {
+            "jobs": len(self.records),
+            "system_nodes": self.system_nodes,
+            "system_cpus": self.system_cpus,
+            "max_job_nodes": max(nodes),
+            "max_job_cpus": max(r.requested_procs for r in self.records),
+            "mean_job_nodes": float(np.mean(nodes)),
+            "mean_runtime": float(np.mean(runtimes)),
+            "median_runtime": float(np.median(runtimes)),
+            "span_seconds": self.span,
+            "offered_load": self.offered_load(),
+        }

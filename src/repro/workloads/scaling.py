@@ -1,0 +1,90 @@
+"""Workload scaling and subsampling utilities.
+
+The paper scales the Cirne model "to the considered system size"; the
+benchmarks of this reproduction additionally need to shrink the very large
+CEA-Curie-like workload to a size that regenerates the figures in an
+acceptable wall-clock budget.  Both operations are provided here in a form
+that preserves the properties the scheduling policies are sensitive to:
+relative job sizes, the runtime distribution, and the offered load.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.workloads.job_record import JobRecord, Workload
+
+
+def scale_to_system(
+    workload: Workload,
+    target_nodes: int,
+    target_cpus_per_node: Optional[int] = None,
+    name: Optional[str] = None,
+) -> Workload:
+    """Rescale per-job node requests to a different system size.
+
+    Every job's node count is scaled by ``target_nodes / source_nodes``
+    (keeping at least one node and never exceeding the new system), which
+    preserves the *relative* size distribution.  Runtimes and submission
+    times are unchanged, so the offered load is preserved as well.
+    """
+    if target_nodes <= 0:
+        raise ValueError("target_nodes must be positive")
+    cpus_per_node = target_cpus_per_node or workload.cpus_per_node
+    ratio = target_nodes / workload.system_nodes
+    records = []
+    for r in workload.records:
+        nodes = r.requested_nodes(workload.cpus_per_node)
+        new_nodes = max(1, min(target_nodes, int(round(nodes * ratio)) or 1))
+        records.append(
+            replace(
+                r,
+                requested_procs=new_nodes * cpus_per_node,
+                used_procs=new_nodes * cpus_per_node,
+            )
+        )
+    return Workload(
+        name=name or f"{workload.name}@{target_nodes}n",
+        records=records,
+        system_nodes=target_nodes,
+        cpus_per_node=cpus_per_node,
+    )
+
+
+def subsample(
+    workload: Workload,
+    fraction: float,
+    seed: int = 0,
+    compress_time: bool = True,
+    name: Optional[str] = None,
+) -> Workload:
+    """Keep a random fraction of the jobs, optionally compressing time.
+
+    With ``compress_time`` the inter-arrival gaps are multiplied by the kept
+    fraction so the offered load of the subsample matches the original — the
+    property that determines queueing behaviour.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    if fraction == 1.0:
+        return workload
+    rng = np.random.default_rng(seed)
+    keep_mask = rng.random(len(workload.records)) < fraction
+    kept = [r for r, keep in zip(workload.records, keep_mask) if keep]
+    if not kept:
+        kept = [workload.records[0]]
+    if compress_time:
+        base = kept[0].submit_time
+        kept = [
+            replace(r, submit_time=base + (r.submit_time - base) * fraction) for r in kept
+        ]
+    return Workload(
+        name=name or f"{workload.name}~{fraction:g}",
+        records=kept,
+        system_nodes=workload.system_nodes,
+        cpus_per_node=workload.cpus_per_node,
+    )

@@ -1,0 +1,120 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.sd_policy import SDPolicyConfig, SDPolicyScheduler
+from repro.schedulers.backfill import BackfillScheduler
+from repro.simulator.cluster import Cluster
+from repro.simulator.job import Job
+from repro.simulator.simulation import Simulation
+from repro.workloads.cirne import CirneWorkloadModel
+from repro.workloads.job_record import JobRecord, Workload
+
+
+@pytest.fixture
+def small_cluster() -> Cluster:
+    """A 4-node cluster with 8 CPUs per node (2 sockets x 4 cores)."""
+    return Cluster(num_nodes=4, sockets=2, cores_per_socket=4)
+
+
+@pytest.fixture
+def mn4_like_cluster() -> Cluster:
+    """A MareNostrum4-like node geometry, small node count."""
+    return Cluster(num_nodes=8, sockets=2, cores_per_socket=24)
+
+
+def make_job(
+    job_id: int = 1,
+    submit: float = 0.0,
+    nodes: int = 1,
+    req_time: float = 3600.0,
+    runtime: float = 1800.0,
+    cpus_per_node: int = 8,
+    malleable: bool = True,
+    **kwargs,
+) -> Job:
+    """Concise job factory used across the suite."""
+    return Job(
+        job_id=job_id,
+        submit_time=submit,
+        requested_nodes=nodes,
+        requested_time=req_time,
+        static_runtime=runtime,
+        cpus_per_node=cpus_per_node,
+        malleable=malleable,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def job_factory():
+    """Expose the job factory as a fixture."""
+    return make_job
+
+
+@pytest.fixture
+def tiny_workload() -> Workload:
+    """A deterministic 60-job Cirne workload on a 16-node system."""
+    return CirneWorkloadModel(
+        num_jobs=60,
+        system_nodes=16,
+        cpus_per_node=8,
+        max_job_nodes=8,
+        target_load=1.0,
+        median_runtime_s=1800.0,
+        seed=7,
+        name="tiny",
+    ).generate()
+
+
+@pytest.fixture
+def record_factory():
+    """Factory for JobRecord objects."""
+
+    def _make(
+        job_id: int = 1,
+        submit: float = 0.0,
+        run_time: float = 100.0,
+        req_time: float = 200.0,
+        procs: int = 8,
+        **kwargs,
+    ) -> JobRecord:
+        return JobRecord(
+            job_id=job_id,
+            submit_time=submit,
+            run_time=run_time,
+            requested_time=req_time,
+            requested_procs=procs,
+            **kwargs,
+        )
+
+    return _make
+
+
+def run_simulation(cluster: Cluster, scheduler, jobs, **kwargs):
+    """Run a list of jobs to completion and return the SimulationResult."""
+    sim = Simulation(cluster, scheduler, **kwargs)
+    sim.submit_jobs(jobs)
+    return sim.run()
+
+
+@pytest.fixture
+def simulate():
+    """Expose the quick simulation helper as a fixture."""
+    return run_simulation
+
+
+@pytest.fixture
+def backfill_scheduler() -> BackfillScheduler:
+    """A fresh static backfill scheduler."""
+    return BackfillScheduler()
+
+
+@pytest.fixture
+def sd_scheduler() -> SDPolicyScheduler:
+    """A fresh SD-Policy scheduler with an unlimited MAX_SLOWDOWN."""
+    return SDPolicyScheduler(SDPolicyConfig(max_slowdown=math.inf))

@@ -1,0 +1,70 @@
+"""Tests for socket-aware CPU distribution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nodemanager.affinity import AffinityError, distribute_cpus, isolation_score
+
+
+class TestDistributeCpus:
+    def test_single_job_full_node(self):
+        result = distribute_cpus({1: 48}, sockets=2, cores_per_socket=24)
+        assert result[1].num_cores == 48
+        assert result[1].cores == tuple(range(48))
+
+    def test_two_jobs_half_node_each_isolated_per_socket(self):
+        result = distribute_cpus({1: 24, 2: 24}, sockets=2, cores_per_socket=24)
+        assert result[1].num_cores == 24
+        assert result[2].num_cores == 24
+        assert set(result[1].cores).isdisjoint(result[2].cores)
+        # The paper's SharingFactor=0.5 case: one socket each.
+        assert result[1].sockets_used(24) != result[2].sockets_used(24)
+        assert isolation_score(result, 24) == 1.0
+
+    def test_counts_always_match_request(self):
+        request = {1: 10, 2: 7, 3: 5}
+        result = distribute_cpus(request, sockets=2, cores_per_socket=12)
+        for job_id, cpus in request.items():
+            assert result[job_id].num_cores == cpus
+
+    def test_assignments_disjoint(self):
+        result = distribute_cpus({1: 10, 2: 20, 3: 18}, sockets=2, cores_per_socket=24)
+        seen = set()
+        for assignment in result.values():
+            assert seen.isdisjoint(assignment.cores)
+            seen.update(assignment.cores)
+
+    def test_over_subscription_rejected(self):
+        with pytest.raises(AffinityError):
+            distribute_cpus({1: 30, 2: 30}, sockets=2, cores_per_socket=24)
+
+    def test_zero_cpus_rejected(self):
+        with pytest.raises(AffinityError):
+            distribute_cpus({1: 0}, sockets=2, cores_per_socket=24)
+
+    def test_deterministic(self):
+        a = distribute_cpus({3: 8, 1: 16, 2: 8}, sockets=2, cores_per_socket=16)
+        b = distribute_cpus({3: 8, 1: 16, 2: 8}, sockets=2, cores_per_socket=16)
+        assert a == b
+
+    def test_large_job_claims_whole_sockets_first(self):
+        result = distribute_cpus({1: 24, 2: 4}, sockets=2, cores_per_socket=24)
+        # Job 1 should sit entirely on one socket.
+        assert len(result[1].sockets_used(24)) == 1
+
+    def test_empty_request(self):
+        assert distribute_cpus({}, sockets=2, cores_per_socket=24) == {}
+
+
+class TestIsolationScore:
+    def test_perfect_isolation(self):
+        result = distribute_cpus({1: 4, 2: 4}, sockets=2, cores_per_socket=4)
+        assert isolation_score(result, 4) == 1.0
+
+    def test_shared_socket_detected(self):
+        result = distribute_cpus({1: 2, 2: 2}, sockets=1, cores_per_socket=8)
+        assert isolation_score(result, 8) == 0.0
+
+    def test_empty_assignment(self):
+        assert isolation_score({}, 24) == 1.0

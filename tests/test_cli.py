@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workloads.swf import write_swf
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workload == 1
+        assert args.policy == "sd_policy"
+
+    def test_figure_argument_validation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "12"])
+
+
+class TestCommands:
+    def test_run_command(self, capsys):
+        assert main(["run", "--workload", "3", "--scale", "0.01",
+                     "--policy", "static_backfill"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+
+    def test_compare_command(self, capsys):
+        assert main(["compare", "--workload", "3", "--scale", "0.01", "--maxsd", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Improvement of SD-Policy" in out
+
+    def test_table_command(self, capsys):
+        assert main(["table", "2", "--scale", "0.2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_figure_command(self, capsys):
+        assert main(["figure", "3", "--workload", "3", "--scale", "0.01"]) == 0
+        assert "Figure 3" in capsys.readouterr().out
+
+    def test_swf_command(self, tmp_path, tiny_workload, capsys):
+        path = tmp_path / "log.swf"
+        write_swf(tiny_workload, path)
+        assert main(["swf", str(path)]) == 0
+        assert "jobs" in capsys.readouterr().out
+
+    def test_run_with_swf_input(self, tmp_path, tiny_workload, capsys):
+        path = tmp_path / "log.swf"
+        write_swf(tiny_workload, path)
+        assert main(["run", "--swf", str(path), "--policy", "static_backfill"]) == 0
+        assert "makespan" in capsys.readouterr().out

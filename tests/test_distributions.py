@@ -1,0 +1,103 @@
+"""Tests for the shared workload distribution samplers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads import distributions as dist
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestLogUniform:
+    def test_within_bounds(self, rng):
+        samples = dist.log_uniform(rng, 10.0, 1000.0, size=500)
+        assert samples.min() >= 10.0
+        assert samples.max() <= 1000.0
+
+    def test_invalid_bounds(self, rng):
+        with pytest.raises(ValueError):
+            dist.log_uniform(rng, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            dist.log_uniform(rng, 100.0, 10.0)
+
+
+class TestPowerOfTwoSize:
+    def test_within_bounds(self, rng):
+        sizes = [dist.power_of_two_size(rng, 128) for _ in range(500)]
+        assert min(sizes) >= 1
+        assert max(sizes) <= 128
+
+    def test_serial_fraction(self, rng):
+        sizes = [dist.power_of_two_size(rng, 128, p_serial=1.0) for _ in range(50)]
+        assert all(s == 1 for s in sizes)
+
+    def test_power_of_two_emphasis(self, rng):
+        sizes = [dist.power_of_two_size(rng, 128, p_power_of_two=1.0, p_serial=0.0)
+                 for _ in range(300)]
+        assert all((s & (s - 1)) == 0 for s in sizes)  # all powers of two
+
+    def test_invalid_max_nodes(self, rng):
+        with pytest.raises(ValueError):
+            dist.power_of_two_size(rng, 0)
+
+
+class TestOverestimation:
+    def test_factor_at_least_one(self, rng):
+        factors = [dist.request_overestimation_factor(rng) for _ in range(500)]
+        assert min(factors) >= 1.0
+        # A meaningful share of users over-request heavily.
+        assert max(factors) > 4.0
+
+
+class TestArrivals:
+    def test_intensity_positive_and_periodic(self):
+        assert dist.arrival_intensity(0.0) > 0
+        assert dist.arrival_intensity(12 * 3600.0) > dist.arrival_intensity(3 * 3600.0)
+        week = 7 * 86400.0
+        assert dist.arrival_intensity(1000.0) == pytest.approx(
+            dist.arrival_intensity(1000.0 + week)
+        )
+
+    def test_cyclic_poisson_count_and_order(self, rng):
+        arrivals = dist.cyclic_poisson_arrivals(rng, 200, mean_interarrival=60.0)
+        assert len(arrivals) == 200
+        assert arrivals == sorted(arrivals)
+
+    def test_cyclic_poisson_invalid_gap(self, rng):
+        with pytest.raises(ValueError):
+            dist.cyclic_poisson_arrivals(rng, 10, mean_interarrival=0.0)
+
+    def test_cyclic_poisson_zero_jobs(self, rng):
+        assert dist.cyclic_poisson_arrivals(rng, 0, 60.0) == []
+
+    def test_calibrated_arrivals_hits_target_span(self, rng):
+        target = 5 * 86400.0
+        arrivals = dist.calibrated_arrivals(rng, 2000, target_span=target)
+        span = arrivals[-1] - arrivals[0]
+        assert span == pytest.approx(target, rel=0.25)
+
+    def test_calibrated_arrivals_invalid_span(self, rng):
+        with pytest.raises(ValueError):
+            dist.calibrated_arrivals(rng, 10, target_span=0.0)
+
+
+class TestGammaRuntime:
+    def test_bounds_respected(self, rng):
+        samples = [dist.gamma_runtime(rng, 3600.0, max_seconds=7200.0, min_seconds=120.0)
+                   for _ in range(500)]
+        assert min(samples) >= 120.0
+        assert max(samples) <= 7200.0
+
+    def test_median_roughly_matches(self, rng):
+        samples = [dist.gamma_runtime(rng, 3600.0, max_seconds=1e9, min_seconds=1.0)
+                   for _ in range(3000)]
+        assert np.median(samples) == pytest.approx(3600.0, rel=0.25)
+
+    def test_invalid_median(self, rng):
+        with pytest.raises(ValueError):
+            dist.gamma_runtime(rng, 0.0)

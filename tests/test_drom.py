@@ -1,0 +1,91 @@
+"""Tests for the DROM registry emulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nodemanager.drom import DromError, DromRegistry
+
+
+@pytest.fixture
+def registry() -> DromRegistry:
+    return DromRegistry(total_cpus=48)
+
+
+class TestRegistration:
+    def test_register_assigns_pids(self, registry):
+        p1 = registry.register(job_id=1, cpu_mask=[0, 1])
+        p2 = registry.register(job_id=1, cpu_mask=[2, 3])
+        assert p1.pid != p2.pid
+        assert len(registry.processes_of(1)) == 2
+
+    def test_register_validates_mask_range(self, registry):
+        with pytest.raises(DromError):
+            registry.register(job_id=1, cpu_mask=[48])
+        with pytest.raises(DromError):
+            registry.register(job_id=1, cpu_mask=[-1])
+
+    def test_clean_single_process(self, registry):
+        proc = registry.register(job_id=1)
+        registry.clean(proc.pid)
+        assert registry.processes() == []
+
+    def test_clean_unknown_pid_rejected(self, registry):
+        with pytest.raises(DromError):
+            registry.clean(999)
+
+    def test_clean_job_removes_all_tasks(self, registry):
+        registry.register(job_id=1, cpu_mask=[0])
+        registry.register(job_id=1, cpu_mask=[1])
+        registry.register(job_id=2, cpu_mask=[2])
+        assert registry.clean_job(1) == 2
+        assert [p.job_id for p in registry.processes()] == [2]
+
+    def test_invalid_total_cpus(self):
+        with pytest.raises(ValueError):
+            DromRegistry(total_cpus=0)
+
+
+class TestMasks:
+    def test_get_and_set_mask(self, registry):
+        proc = registry.register(job_id=1, cpu_mask=[0, 1])
+        assert registry.get_mask(proc.pid) == frozenset({0, 1})
+        registry.set_mask(proc.pid, [4, 5, 6])
+        assert registry.get_mask(proc.pid) == frozenset({4, 5, 6})
+        assert proc.mask_updates == 1
+
+    def test_get_mask_unknown_pid(self, registry):
+        with pytest.raises(DromError):
+            registry.get_mask(5)
+
+    def test_set_mask_unknown_pid(self, registry):
+        with pytest.raises(DromError):
+            registry.set_mask(5, [0])
+
+    def test_job_cpus_union(self, registry):
+        registry.register(job_id=1, cpu_mask=[0, 1])
+        registry.register(job_id=1, cpu_mask=[2, 3])
+        assert registry.job_cpus(1) == frozenset({0, 1, 2, 3})
+
+    def test_set_job_mask_splits_over_tasks(self, registry):
+        registry.register(job_id=1)
+        registry.register(job_id=1)
+        registry.set_job_mask(1, range(10))
+        procs = registry.processes_of(1)
+        sizes = sorted(p.num_cpus for p in procs)
+        assert sizes == [5, 5]
+        assert registry.job_cpus(1) == frozenset(range(10))
+
+    def test_set_job_mask_without_processes(self, registry):
+        with pytest.raises(DromError):
+            registry.set_job_mask(7, [0, 1])
+
+    def test_overlapping_masks_detection(self, registry):
+        a = registry.register(job_id=1, cpu_mask=[0, 1])
+        b = registry.register(job_id=2, cpu_mask=[1, 2])
+        assert (a.pid, b.pid) in registry.overlapping_masks()
+
+    def test_no_overlaps_for_disjoint_masks(self, registry):
+        registry.register(job_id=1, cpu_mask=[0, 1])
+        registry.register(job_id=2, cpu_mask=[2, 3])
+        assert registry.overlapping_masks() == []

@@ -1,0 +1,67 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.engine import Event, EventQueue, EventType
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(10.0, EventType.JOB_SUBMIT, payload="b")
+        q.push(5.0, EventType.JOB_SUBMIT, payload="a")
+        q.push(20.0, EventType.JOB_SUBMIT, payload="c")
+        assert [e.payload for e in q.drain()] == ["a", "b", "c"]
+
+    def test_tie_break_ends_before_submits(self):
+        q = EventQueue()
+        q.push(10.0, EventType.JOB_SUBMIT, payload="submit")
+        q.push(10.0, EventType.JOB_END, payload="end")
+        assert q.pop().payload == "end"
+        assert q.pop().payload == "submit"
+
+    def test_schedule_events_last_at_same_time(self):
+        q = EventQueue()
+        q.push(1.0, EventType.SCHEDULE, payload="sched")
+        q.push(1.0, EventType.JOB_END, payload="end")
+        q.push(1.0, EventType.JOB_SUBMIT, payload="submit")
+        assert [e.payload for e in q.drain()] == ["end", "submit", "sched"]
+
+    def test_fifo_within_same_time_and_type(self):
+        q = EventQueue()
+        q.push(3.0, EventType.JOB_SUBMIT, payload=1)
+        q.push(3.0, EventType.JOB_SUBMIT, payload=2)
+        q.push(3.0, EventType.JOB_SUBMIT, payload=3)
+        assert [e.payload for e in q.drain()] == [1, 2, 3]
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        assert len(q) == 0
+        q.push(1.0, EventType.SCHEDULE)
+        assert q
+        assert len(q) == 1
+
+    def test_peek_does_not_remove(self):
+        q = EventQueue()
+        q.push(1.0, EventType.SCHEDULE, payload="x")
+        assert q.peek().payload == "x"
+        assert len(q) == 1
+
+    def test_peek_empty_returns_none(self):
+        assert EventQueue().peek() is None
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, EventType.SCHEDULE)
+
+    def test_rejects_nan_time(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(float("nan"), EventType.SCHEDULE)
+
+    def test_validity_token_carried(self):
+        q = EventQueue()
+        event = q.push(1.0, EventType.JOB_END, payload=1, validity_token=7)
+        assert event.validity_token == 7

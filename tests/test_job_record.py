@@ -1,0 +1,101 @@
+"""Tests for JobRecord and the Workload container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.job_record import JobRecord, Workload
+
+
+class TestJobRecord:
+    def test_requested_nodes_rounds_up(self, record_factory):
+        record = record_factory(procs=9)
+        assert record.requested_nodes(8) == 2
+        assert record.requested_nodes(16) == 1
+
+    def test_area(self, record_factory):
+        record = record_factory(run_time=100.0, procs=8)
+        assert record.area() == 800.0
+
+    def test_validation(self, record_factory):
+        with pytest.raises(ValueError):
+            record_factory(run_time=0.0)
+        with pytest.raises(ValueError):
+            record_factory(req_time=0.0)
+        with pytest.raises(ValueError):
+            record_factory(procs=0)
+        with pytest.raises(ValueError):
+            record_factory(submit=-1.0)
+
+
+class TestWorkload:
+    def _workload(self, record_factory, n=5):
+        records = [
+            record_factory(job_id=i, submit=i * 10.0, run_time=100.0, req_time=200.0, procs=8)
+            for i in range(n, 0, -1)  # deliberately unsorted
+        ]
+        return Workload(name="test", records=records, system_nodes=4, cpus_per_node=8)
+
+    def test_records_sorted_by_submission(self, record_factory):
+        wl = self._workload(record_factory)
+        submits = [r.submit_time for r in wl.records]
+        assert submits == sorted(submits)
+
+    def test_len_and_iter(self, record_factory):
+        wl = self._workload(record_factory, n=3)
+        assert len(wl) == 3
+        assert len(list(wl)) == 3
+
+    def test_system_cpus_and_span(self, record_factory):
+        wl = self._workload(record_factory, n=5)
+        assert wl.system_cpus == 32
+        assert wl.span == 40.0
+
+    def test_offered_load_positive(self, record_factory):
+        wl = self._workload(record_factory)
+        assert wl.offered_load() > 0
+
+    def test_to_jobs_conversion(self, record_factory):
+        wl = self._workload(record_factory, n=3)
+        jobs = wl.to_jobs()
+        assert len(jobs) == 3
+        assert all(j.requested_nodes == 1 for j in jobs)
+        assert all(j.malleable for j in jobs)
+
+    def test_to_jobs_malleable_fraction_zero(self, record_factory):
+        wl = self._workload(record_factory, n=10)
+        jobs = wl.to_jobs(malleable_fraction=0.0)
+        assert not any(j.malleable for j in jobs)
+
+    def test_to_jobs_invalid_fraction(self, record_factory):
+        wl = self._workload(record_factory)
+        with pytest.raises(ValueError):
+            wl.to_jobs(malleable_fraction=1.5)
+
+    def test_to_jobs_caps_runtime_at_request(self, record_factory):
+        record = record_factory(job_id=1, run_time=500.0, req_time=200.0)
+        wl = Workload("t", [record], system_nodes=4, cpus_per_node=8)
+        job = wl.to_jobs()[0]
+        assert job.static_runtime == 200.0
+
+    def test_filter(self, record_factory):
+        wl = self._workload(record_factory, n=5)
+        small = wl.filter(lambda r: r.submit_time < 25.0)
+        assert len(small) == 2
+        assert small.system_nodes == wl.system_nodes
+
+    def test_head(self, record_factory):
+        wl = self._workload(record_factory, n=5)
+        assert len(wl.head(2)) == 2
+
+    def test_describe_keys(self, record_factory):
+        wl = self._workload(record_factory)
+        desc = wl.describe()
+        for key in ("jobs", "system_nodes", "max_job_nodes", "offered_load"):
+            assert key in desc
+
+    def test_describe_empty(self):
+        wl = Workload("empty", [], system_nodes=4, cpus_per_node=8)
+        assert wl.describe() == {"jobs": 0}
+        assert wl.span == 0.0
+        assert wl.offered_load() == 0.0

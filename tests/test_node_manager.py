@@ -1,0 +1,117 @@
+"""Tests for the per-node manager (Listing 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nodemanager.manager import NodeManager, NodeManagerError
+
+
+@pytest.fixture
+def manager() -> NodeManager:
+    return NodeManager(node_id=0, sockets=2, cores_per_socket=24)
+
+
+class TestLaunch:
+    def test_launch_static_job(self, manager):
+        assignment = manager.launch_job(1, cpus=48, tasks=4)
+        assert assignment.num_cores == 48
+        assert len(manager.drom.processes_of(1)) == 4
+        manager.validate()
+
+    def test_launch_two_jobs_after_shrink(self, manager):
+        manager.launch_job(1, cpus=48)
+        manager.set_job_cpus(1, 24)
+        manager.launch_job(2, cpus=24)
+        assert manager.cpus_of(1) == 24
+        assert manager.cpus_of(2) == 24
+        manager.validate()
+
+    def test_launch_over_capacity_rejected(self, manager):
+        manager.launch_job(1, cpus=40)
+        with pytest.raises(NodeManagerError):
+            manager.launch_job(2, cpus=20)
+
+    def test_duplicate_launch_rejected(self, manager):
+        manager.launch_job(1, cpus=10)
+        with pytest.raises(NodeManagerError):
+            manager.launch_job(1, cpus=10)
+
+    def test_invalid_arguments_rejected(self, manager):
+        with pytest.raises(NodeManagerError):
+            manager.launch_job(1, cpus=0)
+        with pytest.raises(NodeManagerError):
+            manager.launch_job(1, cpus=4, tasks=0)
+
+
+class TestResize:
+    def test_shrink_updates_masks(self, manager):
+        manager.launch_job(1, cpus=48, tasks=2)
+        manager.set_job_cpus(1, 24)
+        assert manager.cpus_of(1) == 24
+        assert len(manager.drom.job_cpus(1)) == 24
+        manager.validate()
+
+    def test_resize_unknown_job_rejected(self, manager):
+        with pytest.raises(NodeManagerError):
+            manager.set_job_cpus(9, 8)
+
+    def test_resize_over_capacity_rejected(self, manager):
+        manager.launch_job(1, cpus=24)
+        manager.launch_job(2, cpus=24)
+        with pytest.raises(NodeManagerError):
+            manager.set_job_cpus(1, 30)
+
+
+class TestEnd:
+    def test_end_redistributes_to_remaining_job(self, manager):
+        manager.launch_job(1, cpus=24)
+        manager.launch_job(2, cpus=24)
+        manager.end_job(2)
+        assert manager.cpus_of(1) == 48
+        assert manager.jobs == [1]
+        manager.validate()
+
+    def test_end_without_redistribution(self, manager):
+        manager.launch_job(1, cpus=24)
+        manager.launch_job(2, cpus=24)
+        manager.end_job(2, redistribute=False)
+        assert manager.cpus_of(1) == 24
+        manager.validate()
+
+    def test_end_splits_between_multiple_survivors(self, manager):
+        manager.launch_job(1, cpus=16)
+        manager.launch_job(2, cpus=16)
+        manager.launch_job(3, cpus=16)
+        manager.end_job(3)
+        assert manager.cpus_of(1) + manager.cpus_of(2) == 48
+        assert abs(manager.cpus_of(1) - manager.cpus_of(2)) <= 1
+        manager.validate()
+
+    def test_end_unknown_job_rejected(self, manager):
+        with pytest.raises(NodeManagerError):
+            manager.end_job(1)
+
+    def test_end_cleans_drom_space(self, manager):
+        manager.launch_job(1, cpus=48, tasks=3)
+        manager.end_job(1)
+        assert manager.drom.processes() == []
+
+
+class TestIsolation:
+    def test_two_half_node_jobs_never_share_a_socket(self, manager):
+        manager.launch_job(1, cpus=48)
+        manager.set_job_cpus(1, 24)
+        manager.launch_job(2, cpus=24)
+        sockets_1 = manager.assignments[1].sockets_used(24)
+        sockets_2 = manager.assignments[2].sockets_used(24)
+        assert set(sockets_1).isdisjoint(sockets_2)
+
+    def test_no_overlapping_drom_masks_through_lifecycle(self, manager):
+        manager.launch_job(1, cpus=48, tasks=2)
+        manager.set_job_cpus(1, 24)
+        manager.launch_job(2, cpus=24, tasks=2)
+        manager.validate()
+        manager.end_job(1)
+        manager.validate()
+        assert manager.cpus_of(2) == 48

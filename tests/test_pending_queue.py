@@ -1,0 +1,56 @@
+"""Unit tests for the pending-job queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.pending_queue import PendingQueue
+from tests.conftest import make_job
+
+
+class TestPendingQueue:
+    def test_add_and_contains(self):
+        q = PendingQueue()
+        q.add(make_job(job_id=1))
+        assert 1 in q
+        assert len(q) == 1
+        assert bool(q)
+
+    def test_duplicate_add_rejected(self):
+        q = PendingQueue()
+        q.add(make_job(job_id=1))
+        with pytest.raises(ValueError):
+            q.add(make_job(job_id=1))
+
+    def test_remove(self):
+        q = PendingQueue()
+        q.add(make_job(job_id=1))
+        job = q.remove(1)
+        assert job.job_id == 1
+        assert 1 not in q
+        assert not q
+
+    def test_get_returns_none_for_missing(self):
+        assert PendingQueue().get(99) is None
+
+    def test_fifo_order(self):
+        q = PendingQueue()
+        for i, submit in enumerate([0.0, 10.0, 20.0], start=1):
+            q.add(make_job(job_id=i, submit=submit))
+        assert [j.job_id for j in q.ordered()] == [1, 2, 3]
+        assert q.head().job_id == 1
+
+    def test_custom_priority_overrides_fifo(self):
+        q = PendingQueue()
+        q.add(make_job(job_id=1, submit=0.0))
+        q.add(make_job(job_id=2, submit=10.0, priority=1e9))
+        assert [j.job_id for j in q.ordered()] == [2, 1]
+
+    def test_iteration_follows_order(self):
+        q = PendingQueue()
+        q.add(make_job(job_id=3, submit=5.0))
+        q.add(make_job(job_id=4, submit=6.0))
+        assert [j.job_id for j in q] == [3, 4]
+
+    def test_head_of_empty_queue(self):
+        assert PendingQueue().head() is None

@@ -1,0 +1,98 @@
+"""Tests for the SharingFactor node-splitting rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sharing import (
+    guest_fraction_of_request,
+    guest_share_of_node,
+    plan_node_sharing,
+)
+from repro.simulator.node import Node
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def node():
+    return Node(0, sockets=2, cores_per_socket=24)  # 48-core MN4-like node
+
+
+class TestGuestShare:
+    def test_half_of_node(self):
+        assert guest_share_of_node(48, 0.5) == 24
+
+    def test_quarter_of_node(self):
+        assert guest_share_of_node(48, 0.25) == 12
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ValueError):
+            guest_share_of_node(48, 0.0)
+        with pytest.raises(ValueError):
+            guest_share_of_node(48, 1.0)
+
+
+class TestPlanNodeSharing:
+    def test_even_split_at_half(self, node):
+        mate = make_job(job_id=1, nodes=1, cpus_per_node=48)
+        guest = make_job(job_id=2, nodes=1, cpus_per_node=48)
+        node.allocate(1, 48)
+        plan = plan_node_sharing(node, mate, guest, 0.5)
+        assert plan is not None
+        assert plan.mate_cpus == 24
+        assert plan.guest_cpus == 24
+        assert plan.total == 48
+
+    def test_sharing_factor_limits_take(self, node):
+        mate = make_job(job_id=1, nodes=1, cpus_per_node=48)
+        guest = make_job(job_id=2, nodes=1, cpus_per_node=48)
+        node.allocate(1, 48)
+        plan = plan_node_sharing(node, mate, guest, 0.25)
+        assert plan.guest_cpus == 12
+        assert plan.mate_cpus == 36
+
+    def test_mate_keeps_one_cpu_per_rank(self, node):
+        mate = make_job(job_id=1, nodes=1, cpus_per_node=48, tasks_per_node=30)
+        guest = make_job(job_id=2, nodes=1, cpus_per_node=48)
+        node.allocate(1, 48)
+        plan = plan_node_sharing(node, mate, guest, 0.5)
+        # The mate can only give up 18 CPUs (48 - 30 ranks).
+        assert plan.mate_cpus == 30
+        assert plan.guest_cpus == 18
+
+    def test_infeasible_when_mate_cannot_shrink(self, node):
+        mate = make_job(job_id=1, nodes=1, cpus_per_node=48, tasks_per_node=48)
+        guest = make_job(job_id=2, nodes=1, cpus_per_node=48)
+        node.allocate(1, 48)
+        assert plan_node_sharing(node, mate, guest, 0.5) is None
+
+    def test_infeasible_when_mate_not_on_node(self, node):
+        mate = make_job(job_id=1, nodes=1, cpus_per_node=48)
+        guest = make_job(job_id=2, nodes=1, cpus_per_node=48)
+        assert plan_node_sharing(node, mate, guest, 0.5) is None
+
+    def test_free_cpus_top_up_guest(self, node):
+        # The mate only holds half the node; the free half also goes to the guest.
+        mate = make_job(job_id=1, nodes=1, cpus_per_node=48)
+        guest = make_job(job_id=2, nodes=1, cpus_per_node=48)
+        node.allocate(1, 24)
+        plan = plan_node_sharing(node, mate, guest, 0.5)
+        assert plan.guest_cpus == 24 + 23  # 23 taken from mate (keeps 1 rank) + 24 free
+        assert plan.mate_cpus == 1
+
+    def test_guest_rank_minimum_respected(self, node):
+        mate = make_job(job_id=1, nodes=1, cpus_per_node=48, tasks_per_node=47)
+        guest = make_job(job_id=2, nodes=1, cpus_per_node=48, tasks_per_node=8)
+        node.allocate(1, 48)
+        # Mate can give only 1 CPU, guest needs at least 8.
+        assert plan_node_sharing(node, mate, guest, 0.5) is None
+
+
+class TestGuestFraction:
+    def test_fraction_of_request(self):
+        guest = make_job(nodes=2, cpus_per_node=48)
+        assert guest_fraction_of_request(guest, 48) == pytest.approx(0.5)
+
+    def test_fraction_capped_at_one(self):
+        guest = make_job(nodes=1, cpus_per_node=48)
+        assert guest_fraction_of_request(guest, 96) == 1.0

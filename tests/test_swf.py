@@ -1,0 +1,97 @@
+"""Tests for the Standard Workload Format parser/writer."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.workloads.job_record import JobRecord, Workload
+from repro.workloads.swf import SWFFormatError, read_swf, write_swf
+
+SAMPLE_SWF = """\
+; Version: 2.2
+; MaxNodes: 64
+; MaxProcs: 512
+1 0 5 100 8 -1 -1 8 200 -1 1 10 2 3 1 1 -1 -1
+2 50 -1 60 16 -1 -1 16 120 -1 1 11 2 4 1 1 -1 -1
+3 80 0 0 8 -1 -1 8 100 -1 0 12 2 5 1 1 -1 -1
+"""
+
+
+class TestReadSWF:
+    def test_parses_jobs_and_header(self):
+        wl = read_swf(io.StringIO(SAMPLE_SWF), name="sample", cpus_per_node=8)
+        assert wl.name == "sample"
+        assert wl.system_nodes == 64
+        # Job 3 has run_time 0 (cancelled) and is dropped.
+        assert len(wl) == 2
+        first = wl.records[0]
+        assert first.job_id == 1
+        assert first.run_time == 100.0
+        assert first.requested_time == 200.0
+        assert first.requested_procs == 8
+        assert first.user_id == 10
+
+    def test_system_nodes_override(self):
+        wl = read_swf(io.StringIO(SAMPLE_SWF), system_nodes=16)
+        assert wl.system_nodes == 16
+
+    def test_max_jobs_limit(self):
+        wl = read_swf(io.StringIO(SAMPLE_SWF), max_jobs=1)
+        assert len(wl) == 1
+
+    def test_short_line_rejected(self):
+        with pytest.raises(SWFFormatError):
+            read_swf(io.StringIO("1 2 3\n"))
+
+    def test_system_size_inferred_from_jobs_without_header(self):
+        text = "1 0 5 100 32 -1 -1 32 200 -1 1 1 1 1 1 1 -1 -1\n"
+        wl = read_swf(io.StringIO(text), cpus_per_node=8)
+        assert wl.system_nodes == 4
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "log.swf"
+        path.write_text(SAMPLE_SWF)
+        wl = read_swf(path)
+        assert len(wl) == 2
+        assert wl.name == "log.swf"
+
+
+class TestWriteSWF:
+    def _workload(self):
+        records = [
+            JobRecord(job_id=1, submit_time=0.0, run_time=100.0, requested_time=200.0,
+                      requested_procs=8, user_id=3, group_id=4),
+            JobRecord(job_id=2, submit_time=60.0, run_time=30.0, requested_time=60.0,
+                      requested_procs=16, user_id=5, group_id=6),
+        ]
+        return Workload("out", records, system_nodes=8, cpus_per_node=8)
+
+    def test_roundtrip_preserves_fields(self):
+        buffer = io.StringIO()
+        write_swf(self._workload(), buffer)
+        buffer.seek(0)
+        back = read_swf(buffer, cpus_per_node=8)
+        assert len(back) == 2
+        assert back.system_nodes == 8
+        for orig, parsed in zip(self._workload().records, back.records):
+            assert parsed.job_id == orig.job_id
+            assert parsed.run_time == orig.run_time
+            assert parsed.requested_time == orig.requested_time
+            assert parsed.requested_procs == orig.requested_procs
+            assert parsed.user_id == orig.user_id
+
+    def test_write_to_path(self, tmp_path):
+        path = tmp_path / "out.swf"
+        write_swf(self._workload(), path, comments=["generated in a test"])
+        text = path.read_text()
+        assert "; generated in a test" in text
+        assert "; MaxNodes: 8" in text
+
+    def test_generator_workload_roundtrip(self, tiny_workload):
+        buffer = io.StringIO()
+        write_swf(tiny_workload, buffer)
+        buffer.seek(0)
+        back = read_swf(buffer, cpus_per_node=tiny_workload.cpus_per_node)
+        assert len(back) == len(tiny_workload)
