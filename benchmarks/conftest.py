@@ -11,6 +11,14 @@ Set the environment variable ``REPRO_BENCH_SCALE_FACTOR`` (e.g. ``2.0`` or
 Each benchmark also writes the rendered text of its figure/table to
 ``benchmarks/output/`` so the regenerated artefacts can be inspected and
 compared against the paper (EXPERIMENTS.md records that comparison).
+``tests/test_regression_golden.py`` pins the Table 1 and Figures 1-3 values
+against the committed artefacts, so regenerate them deliberately.
+
+The sweep-shaped benchmarks (Table 1, Figures 1-3, Figure 8) fan their
+independent simulations out over a process pool via
+:class:`repro.experiments.sweep.SweepRunner`; set ``REPRO_SWEEP_WORKERS``
+to control the worker count (default: the CPU count; serial and parallel
+execution produce identical metrics).
 """
 
 from __future__ import annotations

@@ -6,6 +6,8 @@ shell (installed as ``repro-sdpolicy`` or via ``python -m repro``):
 * ``run`` — simulate one workload under one policy and print the metrics;
 * ``compare`` — run static backfill and SD-Policy on a workload and print
   the normalised comparison;
+* ``sweep`` — run the MAX_SLOWDOWN sweep (Figures 1-3) through the parallel
+  sweep runner, with ``--workers`` and an optional on-disk result cache;
 * ``table1`` / ``table2`` — regenerate the paper's tables;
 * ``figure`` — regenerate a figure by number (1–9; 1/2/3 and 4/5/6 are
   grouped as in the paper);
@@ -15,6 +17,7 @@ Example::
 
     repro-sdpolicy figure 3 --workload 3 --scale 0.05
     repro-sdpolicy compare --workload 1 --scale 0.05 --maxsd 10
+    repro-sdpolicy sweep --workload 1 --scale 0.04 --workers 4 --cache-dir auto
 """
 
 from __future__ import annotations
@@ -35,6 +38,7 @@ from repro.experiments.paper import (
     table_2_application_mix,
 )
 from repro.experiments.runner import run_workload
+from repro.experiments.sweep import SweepRunner
 from repro.workloads.presets import build_workload
 from repro.workloads.swf import read_swf
 
@@ -67,6 +71,38 @@ def _load_workload(args: argparse.Namespace):
     if getattr(args, "swf", None):
         return read_swf(args.swf)
     return build_workload(args.workload, scale=args.scale, seed=args.seed)
+
+
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return parsed
+
+
+def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=_positive_int, default=None,
+        help="sweep worker processes (default: REPRO_SWEEP_WORKERS or the CPU count)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="on-disk sweep result cache; 'auto' selects ~/.cache/repro/sweeps "
+             "(default: caching disabled)",
+    )
+
+
+def _make_runner(args: argparse.Namespace, progress: bool = False) -> SweepRunner:
+    callback = None
+    if progress:
+        def callback(done, total, entry):  # noqa: ANN001 - argparse-local helper
+            origin = "cache" if entry.from_cache else f"{entry.wall_clock_seconds:.1f}s"
+            print(f"  [{done}/{total}] {entry.key} ({origin})", file=sys.stderr)
+    return SweepRunner(
+        max_workers=getattr(args, "workers", None),
+        cache_dir=getattr(args, "cache_dir", None),
+        progress=callback,
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -106,9 +142,31 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    workload = _load_workload(args)
+    runner = _make_runner(args, progress=True)
+    result = figure_1_to_3_maxsd_sweep(
+        workload,
+        sharing_factor=args.sharing_factor,
+        runtime_model=args.runtime_model,
+        runner=runner,
+    )
+    print(result.text)
+    sweep_seconds = result.data.get("sweep_wall_clock_seconds")
+    cache_hits = result.data.get("sweep_cache_hits", 0)
+    workers = result.data.get("sweep_workers", 1)
+    if sweep_seconds is not None:
+        print(
+            f"\nsweep wall-clock: {sweep_seconds:.1f}s  workers: {workers}  "
+            f"cache hits: {cache_hits}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     if args.table == 1:
-        print(table_1_workloads(scale=args.scale).text)
+        print(table_1_workloads(scale=args.scale, runner=_make_runner(args)).text)
     else:
         print(table_2_application_mix(scale=args.scale).text)
     return 0
@@ -116,9 +174,15 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     figure = args.figure
+    if figure in (4, 5, 6, 7, 9) and (args.workers is not None or args.cache_dir):
+        print(
+            f"note: figure {figure} is not sweep-backed; "
+            "--workers/--cache-dir only apply to figures 1-3 and 8",
+            file=sys.stderr,
+        )
     if figure in (1, 2, 3):
         workload = _load_workload(args)
-        result = figure_1_to_3_maxsd_sweep(workload)
+        result = figure_1_to_3_maxsd_sweep(workload, runner=_make_runner(args))
     elif figure in (4, 5, 6):
         workload = _load_workload(args)
         result = figure_4_to_6_heatmaps(workload, max_slowdown=_parse_maxsd(args.maxsd))
@@ -130,7 +194,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             f"workload{wid}": build_workload(wid, scale=args.scale, seed=args.seed)
             for wid in (1, 2, 3, 4)
         }
-        result = figure_8_runtime_models(workloads)
+        result = figure_8_runtime_models(workloads, runner=_make_runner(args))
     elif figure == 9:
         result = figure_9_real_run(scale=args.scale)
     else:
@@ -171,15 +235,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--sharing-factor", type=float, default=0.5)
     p_cmp.set_defaults(func=_cmd_compare)
 
+    p_sweep = sub.add_parser(
+        "sweep", help="run the MAX_SLOWDOWN sweep (figures 1-3) in parallel"
+    )
+    _add_workload_args(p_sweep)
+    _add_sweep_args(p_sweep)
+    p_sweep.add_argument("--runtime-model", default="ideal", choices=["ideal", "worst_case"])
+    p_sweep.add_argument("--sharing-factor", type=float, default=0.5)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
     p_tab = sub.add_parser("table", help="regenerate Table 1 or Table 2")
     p_tab.add_argument("table", type=int, choices=[1, 2])
     p_tab.add_argument("--scale", type=float, default=0.05)
+    _add_sweep_args(p_tab)
     p_tab.set_defaults(func=_cmd_table)
 
     p_fig = sub.add_parser("figure", help="regenerate a figure (1-9)")
     p_fig.add_argument("figure", type=int, choices=range(1, 10))
     _add_workload_args(p_fig)
     p_fig.add_argument("--maxsd", default="10")
+    _add_sweep_args(p_fig)
     p_fig.set_defaults(func=_cmd_figure)
 
     p_swf = sub.add_parser("swf", help="inspect a Standard Workload Format log")

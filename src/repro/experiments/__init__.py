@@ -1,10 +1,12 @@
 """Experiment harness: the code paths that regenerate each paper table/figure.
 
 :mod:`repro.experiments.runner` runs one workload under one policy and
-returns the metrics; :mod:`repro.experiments.paper` composes those runs into
-the exact sweeps behind every table and figure of the paper's evaluation
-(see the experiment index in DESIGN.md).  The benchmarks and the CLI are
-thin wrappers around this package.
+returns the metrics; :mod:`repro.experiments.sweep` fans independent runs
+out over a process pool with an on-disk result cache;
+:mod:`repro.experiments.paper` composes those runs into the exact sweeps
+behind every table and figure of the paper's evaluation (see the experiment
+index in DESIGN.md).  The benchmarks and the CLI are thin wrappers around
+this package.
 """
 
 from repro.experiments.paper import (
@@ -18,17 +20,35 @@ from repro.experiments.paper import (
     table_2_application_mix,
 )
 from repro.experiments.runner import PolicyRun, cluster_for, run_workload
+from repro.experiments.sweep import (
+    SweepEntry,
+    SweepError,
+    SweepResult,
+    SweepRunner,
+    SweepTask,
+    fingerprint_workload,
+    maxsd_sweep_tasks,
+    task_cache_key,
+)
 
 __all__ = [
     "FigureResult",
     "PolicyRun",
+    "SweepEntry",
+    "SweepError",
+    "SweepResult",
+    "SweepRunner",
+    "SweepTask",
     "cluster_for",
     "figure_1_to_3_maxsd_sweep",
     "figure_4_to_6_heatmaps",
     "figure_7_daily_series",
     "figure_8_runtime_models",
     "figure_9_real_run",
+    "fingerprint_workload",
+    "maxsd_sweep_tasks",
     "run_workload",
     "table_1_workloads",
     "table_2_application_mix",
+    "task_cache_key",
 ]

@@ -20,6 +20,7 @@ from repro.analysis.comparison import improvement_percent, normalize_to_baseline
 from repro.analysis.figures import render_bar_chart, render_heatmap, render_series
 from repro.analysis.tables import format_table, metrics_table
 from repro.experiments.runner import PolicyRun, run_workload
+from repro.experiments.sweep import SweepRunner, SweepTask, maxsd_sweep_tasks
 from repro.metrics.heatmap import CategoryGrid, category_heatmap, heatmap_ratio
 from repro.metrics.timeseries import daily_series_table
 from repro.workloads.applications import application_shares
@@ -56,18 +57,29 @@ def table_1_workloads(
     scale: float = 0.05,
     workload_ids: Sequence[int] = (1, 2, 3, 4, 5),
     seed: Optional[int] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> FigureResult:
     """Table 1: per-workload statistics under static backfill.
 
     The paper's table lists, for every workload, the number of jobs, the
     system and max-job sizes, and the average response time, average
     slowdown and makespan measured with the static backfill simulation.
+    The per-workload simulations are independent and fan out through the
+    sweep runner.
     """
+    runner = runner or SweepRunner()
+    workloads = {wid: build_workload(wid, scale=scale, seed=seed) for wid in workload_ids}
+    sweep = runner.run(
+        [
+            SweepTask(workload=wl, policy="static_backfill", key=f"workload{wid}", seed=0)
+            for wid, wl in workloads.items()
+        ]
+    )
     rows: List[List[object]] = []
     per_workload: Dict[int, Dict[str, float]] = {}
     for wid in workload_ids:
-        workload = build_workload(wid, scale=scale, seed=seed)
-        run = run_workload(workload, "static_backfill")
+        workload = workloads[wid]
+        run = sweep[f"workload{wid}"]
         spec = PAPER_WORKLOADS[wid]
         row = {
             "id": wid,
@@ -130,28 +142,31 @@ def figure_1_to_3_maxsd_sweep(
     sharing_factor: float = 0.5,
     runtime_model: str = "ideal",
     malleable_fraction: float = 1.0,
+    runner: Optional[SweepRunner] = None,
 ) -> FigureResult:
     """Figures 1, 2, 3: makespan / response / slowdown vs MAX_SLOWDOWN.
 
     All values are normalised to the static backfill run of the same
     workload, exactly as in the paper (SharingFactor 0.5, ideal runtime
     model for the simulated execution, worst-case model for scheduling
-    estimates).
+    estimates).  The baseline and every MAX_SLOWDOWN setting are independent
+    simulations and fan out through the sweep runner.
     """
-    baseline = run_workload(workload, "static_backfill", runtime_model=runtime_model,
-                            malleable_fraction=malleable_fraction)
-    normalized: Dict[str, Dict[str, float]] = {}
-    runs: Dict[str, PolicyRun] = {"static_backfill": baseline}
-    for label, setting in maxsd_settings.items():
-        run = run_workload(
+    runner = runner or SweepRunner()
+    sweep = runner.run(
+        maxsd_sweep_tasks(
             workload,
-            "sd_policy",
+            maxsd_settings,
+            sharing_factor=sharing_factor,
             runtime_model=runtime_model,
             malleable_fraction=malleable_fraction,
-            label=label,
-            max_slowdown=setting,
-            sharing_factor=sharing_factor,
         )
+    )
+    baseline = sweep["static_backfill"]
+    normalized: Dict[str, Dict[str, float]] = {}
+    runs: Dict[str, PolicyRun] = {"static_backfill": baseline}
+    for label in maxsd_settings:
+        run = sweep[label]
         runs[label] = run
         normalized[label] = normalize_to_baseline(run.metrics, baseline.metrics)
     charts = []
@@ -174,6 +189,9 @@ def figure_1_to_3_maxsd_sweep(
             "baseline": baseline.metrics.as_dict(),
             "runs": {label: run.metrics.as_dict() for label, run in runs.items()},
             "workload": workload.name,
+            "sweep_wall_clock_seconds": sweep.total_wall_clock_seconds,
+            "sweep_workers": sweep.workers,
+            "sweep_cache_hits": sweep.cache_hits,
         },
         text="\n\n".join(charts),
     )
@@ -262,26 +280,44 @@ def figure_8_runtime_models(
     workloads: Mapping[str, Workload],
     max_slowdown: Union[float, str] = "dynamic",
     sharing_factor: float = 0.5,
+    runner: Optional[SweepRunner] = None,
 ) -> FigureResult:
     """Figure 8: SD-Policy under the ideal vs the worst-case runtime model.
 
     For every workload, both models are simulated with SD-Policy DynAVGSD
-    and normalised to the static backfill run of the same workload.
+    and normalised to the static backfill run of the same workload.  All
+    ``3 × len(workloads)`` simulations fan out through the sweep runner.
     """
+    runner = runner or SweepRunner()
+    tasks: List[SweepTask] = []
+    for name, workload in workloads.items():
+        tasks.append(
+            SweepTask(workload=workload, policy="static_backfill",
+                      key=f"{name}/static", seed=0)
+        )
+        for model in ("ideal", "worst_case"):
+            tasks.append(
+                SweepTask(
+                    workload=workload,
+                    policy="sd_policy",
+                    key=f"{name}/{model}",
+                    label=f"sd_{model}",
+                    seed=0,
+                    kwargs={
+                        "runtime_model": model,
+                        "max_slowdown": max_slowdown,
+                        "sharing_factor": sharing_factor,
+                    },
+                )
+            )
+    sweep = runner.run(tasks)
     per_workload: Dict[str, Dict[str, Dict[str, float]]] = {}
     charts: List[str] = []
     for name, workload in workloads.items():
-        baseline = run_workload(workload, "static_backfill")
+        baseline = sweep[f"{name}/static"]
         entry: Dict[str, Dict[str, float]] = {}
         for model in ("ideal", "worst_case"):
-            run = run_workload(
-                workload,
-                "sd_policy",
-                runtime_model=model,
-                max_slowdown=max_slowdown,
-                sharing_factor=sharing_factor,
-                label=f"sd_{model}",
-            )
+            run = sweep[f"{name}/{model}"]
             entry[model] = normalize_to_baseline(run.metrics, baseline.metrics)
         per_workload[name] = entry
         chart_values = {

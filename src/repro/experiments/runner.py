@@ -55,6 +55,12 @@ def make_scheduler(policy: Union[str, Scheduler, Callable[[], Scheduler]], **kwa
     raise ValueError(f"unknown policy {policy!r}")
 
 
+#: Sentinel distinguishing "use the default power model" from an explicit
+#: ``None`` (which disables energy accounting).  The model itself is built
+#: per call so no mutable default instance is shared across runs.
+_DEFAULT_POWER_MODEL = object()
+
+
 @dataclass
 class PolicyRun:
     """The outcome of running one workload under one policy."""
@@ -78,7 +84,7 @@ def run_workload(
     runtime_model: Optional[Union[str, RuntimeModel]] = None,
     malleable_fraction: float = 1.0,
     tasks_per_node: int = 1,
-    power_model: Optional[LinearPowerModel] = LinearPowerModel(),
+    power_model: Optional[LinearPowerModel] = _DEFAULT_POWER_MODEL,
     use_requested_time_for_predictions: bool = True,
     label: Optional[str] = None,
     seed: int = 0,
@@ -92,6 +98,8 @@ def run_workload(
     workload (all-malleable in the paper's simulations).
     """
     scheduler = make_scheduler(policy, **policy_kwargs)
+    if power_model is _DEFAULT_POWER_MODEL:
+        power_model = LinearPowerModel()
     if isinstance(runtime_model, str):
         from repro.core.runtime_model import get_model
 

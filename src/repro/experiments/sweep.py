@@ -1,0 +1,500 @@
+"""Parallel experiment sweeps.
+
+Every figure and table of the paper is a sweep — MAX_SLOWDOWN values ×
+workloads × runtime models — and each point is one independent
+:func:`repro.experiments.runner.run_workload` call.  :class:`SweepRunner`
+fans those calls out over a process pool with
+
+* a configurable worker count (``REPRO_SWEEP_WORKERS`` or the CPU count),
+* deterministic per-task seeds, so serial and parallel execution produce
+  bit-identical metrics,
+* an optional on-disk result cache keyed by a content hash of the workload
+  and the policy configuration, so re-running a sweep is free,
+* progress callbacks, and
+* worker failures that surface the *original* traceback in the parent.
+
+The per-figure experiment functions in :mod:`repro.experiments.paper` and
+the ``sweep`` CLI subcommand all run through this module.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import multiprocessing
+import os
+import pickle
+import tempfile
+import time
+import traceback
+import re
+import sys
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.experiments.runner import PolicyRun, run_workload
+from repro.workloads.job_record import Workload
+
+#: Bump when the cached payload layout changes; old entries are then misses.
+CACHE_FORMAT_VERSION = 1
+
+
+class SweepError(RuntimeError):
+    """A sweep task failed in a worker.
+
+    The worker's original traceback is preserved in :attr:`worker_traceback`
+    and included in the exception message, so failures in a process pool are
+    as debuggable as failures in the parent.
+    """
+
+    def __init__(self, key: str, message: str, worker_traceback: str = "") -> None:
+        self.key = key
+        self.worker_traceback = worker_traceback
+        detail = f"sweep task {key!r} failed: {message}"
+        if worker_traceback:
+            detail += f"\n--- worker traceback ---\n{worker_traceback}"
+        super().__init__(detail)
+
+
+@dataclass
+class SweepTask:
+    """One point of a sweep: a workload simulated under one configuration.
+
+    ``kwargs`` are forwarded verbatim to
+    :func:`repro.experiments.runner.run_workload` (runtime model, malleable
+    fraction, policy parameters such as ``max_slowdown`` …).  The ``seed`` is
+    explicit so every task is reproducible no matter which worker runs it;
+    when ``None`` it is derived deterministically from the task key.
+    """
+
+    workload: Workload
+    policy: str = "static_backfill"
+    key: Optional[str] = None
+    label: Optional[str] = None
+    seed: Optional[int] = None
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def resolved_key(self) -> str:
+        return self.key or self.label or self.policy
+
+    def resolved_seed(self) -> int:
+        if self.seed is not None:
+            return int(self.seed)
+        digest = hashlib.sha256(self.resolved_key().encode("utf-8")).digest()
+        return int.from_bytes(digest[:4], "big") % (2**31)
+
+
+@dataclass
+class SweepEntry:
+    """The outcome of one sweep task."""
+
+    key: str
+    run: PolicyRun
+    from_cache: bool
+    wall_clock_seconds: float
+
+
+@dataclass
+class SweepResult:
+    """All entries of one sweep, in task order."""
+
+    entries: List[SweepEntry]
+    total_wall_clock_seconds: float
+    workers: int
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[SweepEntry]:
+        return iter(self.entries)
+
+    def __getitem__(self, key: str) -> PolicyRun:
+        for entry in self.entries:
+            if entry.key == key:
+                return entry.run
+        raise KeyError(key)
+
+    @property
+    def runs(self) -> Dict[str, PolicyRun]:
+        """Mapping of task key to its :class:`PolicyRun`."""
+        return {entry.key: entry.run for entry in self.entries}
+
+    @property
+    def cache_hits(self) -> int:
+        """Number of entries served from the on-disk cache."""
+        return sum(1 for entry in self.entries if entry.from_cache)
+
+
+# --------------------------------------------------------------------- #
+# Cache keys
+# --------------------------------------------------------------------- #
+def fingerprint_workload(workload: Workload) -> str:
+    """Content hash of a workload: system geometry plus every job record."""
+    h = hashlib.sha256()
+    h.update(
+        f"{workload.name}|{workload.system_nodes}|{workload.cpus_per_node}|".encode()
+    )
+    for r in workload.records:
+        h.update(
+            (
+                f"{r.job_id},{r.submit_time!r},{r.run_time!r},{r.requested_time!r},"
+                f"{r.requested_procs},{r.user_id},{r.group_id},{r.application}\n"
+            ).encode()
+        )
+    return h.hexdigest()
+
+
+_ADDRESS_RE = re.compile(r" at 0x[0-9a-fA-F]+")
+
+
+def _canonical_value(obj: Any) -> Any:
+    """Stable JSON stand-in for a non-JSON kwarg value.
+
+    Objects are rendered as their class plus their (sorted) instance state,
+    so two identically-configured model instances produce the same cache key
+    and two differently-configured ones do not; memory addresses from
+    default reprs are stripped because they change every run.
+    """
+    state = getattr(obj, "__dict__", None)
+    if state:
+        return {
+            "__class__": f"{type(obj).__module__}.{type(obj).__qualname__}",
+            "state": {k: _ADDRESS_RE.sub("", repr(v)) for k, v in sorted(state.items())},
+        }
+    return _ADDRESS_RE.sub("", repr(obj))
+
+
+def _canonical_kwargs(kwargs: Mapping[str, Any]) -> str:
+    """Stable text form of the run kwargs (handles inf, model objects, …)."""
+    return json.dumps(kwargs, sort_keys=True, default=_canonical_value)
+
+
+def task_cache_key(task: SweepTask) -> str:
+    """Cache key of a task: workload content + full run configuration.
+
+    The package version is part of the key so a released behaviour change
+    invalidates old entries; local (unreleased) simulator edits are *not*
+    detected — delete the cache directory after hacking on the scheduler.
+    """
+    import repro
+
+    h = hashlib.sha256()
+    h.update(
+        f"v{CACHE_FORMAT_VERSION}|repro{getattr(repro, '__version__', '0')}|".encode()
+    )
+    h.update(fingerprint_workload(task.workload).encode())
+    h.update(
+        (
+            f"|{task.policy}|{task.label}|{task.resolved_seed()}|"
+            f"{_canonical_kwargs(task.kwargs)}"
+        ).encode()
+    )
+    return h.hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """Default on-disk cache location (``REPRO_SWEEP_CACHE_DIR`` overrides)."""
+    env = os.environ.get("REPRO_SWEEP_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro" / "sweeps"
+
+
+# --------------------------------------------------------------------- #
+# Worker entry points (module level: must be picklable)
+# --------------------------------------------------------------------- #
+def _execute_task(task: SweepTask) -> PolicyRun:
+    return run_workload(
+        task.workload,
+        task.policy,
+        label=task.label,
+        seed=task.resolved_seed(),
+        **task.kwargs,
+    )
+
+
+def _worker(indexed_task: Tuple[int, SweepTask]) -> Tuple[int, str, Any]:
+    index, task = indexed_task
+    t0 = time.perf_counter()
+    try:
+        run = _execute_task(task)
+        return index, "ok", (run, time.perf_counter() - t0)
+    except Exception as exc:  # noqa: BLE001 - must cross the process boundary
+        return index, "error", (f"{type(exc).__name__}: {exc}", traceback.format_exc())
+
+
+# --------------------------------------------------------------------- #
+# The runner
+# --------------------------------------------------------------------- #
+class SweepRunner:
+    """Run a batch of :class:`SweepTask` points, in parallel when possible.
+
+    Parameters
+    ----------
+    max_workers:
+        Process count.  ``None`` reads ``REPRO_SWEEP_WORKERS``; unset, it
+        defaults to ``os.cpu_count()`` on Linux (where the pool forks and a
+        library call stays safe in any script) and to ``1`` on spawn
+        platforms (macOS/Windows), where a process pool inside a library
+        call would re-import unguarded caller scripts — opt in explicitly
+        there.  ``1`` runs everything in-process (no pool).
+    cache_dir:
+        Directory for the on-disk result cache.  ``None`` disables caching;
+        the string ``"auto"`` selects :func:`default_cache_dir`.
+    progress:
+        Optional callback ``progress(done, total, entry)`` invoked after
+        every completed task (cache hits included).
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        progress: Optional[Callable[[int, int, SweepEntry], None]] = None,
+    ) -> None:
+        if max_workers is None:
+            env = os.environ.get("REPRO_SWEEP_WORKERS")
+            if env:
+                max_workers = int(env)
+            elif sys.platform == "linux":
+                max_workers = os.cpu_count() or 1
+            else:
+                max_workers = 1
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        if cache_dir == "auto":
+            cache_dir = default_cache_dir()
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.progress = progress
+
+    # ------------------------------------------------------------------ #
+    # Cache plumbing
+    # ------------------------------------------------------------------ #
+    def _cache_path(self, task: SweepTask) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{task_cache_key(task)}.pkl"
+
+    def _cache_load(self, path: Optional[Path]) -> Optional[PolicyRun]:
+        if path is None or not path.exists():
+            return None
+        try:
+            with path.open("rb") as fh:
+                payload = pickle.load(fh)
+            if payload.get("format") != CACHE_FORMAT_VERSION:
+                return None
+            return payload["run"]
+        except Exception:  # corrupt or incompatible entry: treat as a miss
+            return None
+
+    def _cache_store(self, path: Optional[Path], task: SweepTask, run: PolicyRun) -> None:
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": CACHE_FORMAT_VERSION,
+            "key": task.resolved_key(),
+            "policy": task.policy,
+            "seed": task.resolved_seed(),
+            "kwargs": _canonical_kwargs(task.kwargs),
+            "workload": task.workload.name,
+            "run": run,
+        }
+        # Atomic publish so concurrent sweeps never observe a torn entry.
+        fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------ #
+    def run(self, tasks: Sequence[SweepTask]) -> SweepResult:
+        """Execute every task and return their results in task order."""
+        tasks = list(tasks)
+        keys = [task.resolved_key() for task in tasks]
+        if len(set(keys)) != len(keys):
+            dupes = sorted({k for k in keys if keys.count(k) > 1})
+            raise ValueError(f"duplicate sweep task keys: {dupes}")
+
+        started = time.perf_counter()
+        total = len(tasks)
+        done = 0
+        entries: List[Optional[SweepEntry]] = [None] * total
+        misses: List[int] = []
+
+        for index, task in enumerate(tasks):
+            cached = self._cache_load(self._cache_path(task))
+            if cached is not None:
+                entries[index] = SweepEntry(
+                    key=keys[index], run=cached, from_cache=True, wall_clock_seconds=0.0
+                )
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, total, entries[index])
+            else:
+                misses.append(index)
+
+        workers = min(self.max_workers, max(1, len(misses)))
+        if misses:
+            if workers == 1:
+                self._run_serial(tasks, keys, entries, misses, total, done)
+            else:
+                self._run_parallel(tasks, keys, entries, misses, total, done, workers)
+
+        finished = [entry for entry in entries if entry is not None]
+        assert len(finished) == total
+        return SweepResult(
+            entries=finished,
+            total_wall_clock_seconds=time.perf_counter() - started,
+            workers=workers,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _finish(
+        self,
+        tasks: Sequence[SweepTask],
+        keys: Sequence[str],
+        entries: List[Optional[SweepEntry]],
+        index: int,
+        run: PolicyRun,
+        elapsed: float,
+    ) -> SweepEntry:
+        self._cache_store(self._cache_path(tasks[index]), tasks[index], run)
+        entry = SweepEntry(
+            key=keys[index], run=run, from_cache=False, wall_clock_seconds=elapsed
+        )
+        entries[index] = entry
+        return entry
+
+    def _run_serial(
+        self,
+        tasks: Sequence[SweepTask],
+        keys: Sequence[str],
+        entries: List[Optional[SweepEntry]],
+        misses: Sequence[int],
+        total: int,
+        done: int,
+    ) -> None:
+        for index in misses:
+            t0 = time.perf_counter()
+            try:
+                run = _execute_task(tasks[index])
+            except Exception as exc:
+                raise SweepError(
+                    keys[index], f"{type(exc).__name__}: {exc}", traceback.format_exc()
+                ) from exc
+            entry = self._finish(tasks, keys, entries, index, run, time.perf_counter() - t0)
+            done += 1
+            if self.progress is not None:
+                self.progress(done, total, entry)
+
+    def _run_parallel(
+        self,
+        tasks: Sequence[SweepTask],
+        keys: Sequence[str],
+        entries: List[Optional[SweepEntry]],
+        misses: Sequence[int],
+        total: int,
+        done: int,
+        workers: int,
+    ) -> None:
+        # Fork shares the already-built workload objects cheaply, but is only
+        # safe on Linux (macOS frameworks may abort in forked children); use
+        # the platform default start method everywhere else.
+        if sys.platform == "linux":
+            context = multiprocessing.get_context("fork")
+        else:
+            context = multiprocessing.get_context()
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            futures = {
+                pool.submit(_worker, (index, tasks[index])): index for index in misses
+            }
+            pending = set(futures)
+            while pending:
+                # _worker never raises, so wait for completions one batch at
+                # a time: progress streams and failures cancel the remainder
+                # as soon as they are observed.
+                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index = futures[future]
+                    exc = future.exception()
+                    if exc is not None:
+                        # Pool infrastructure failure (e.g. a killed worker).
+                        pool.shutdown(cancel_futures=True)
+                        raise SweepError(keys[index], f"{type(exc).__name__}: {exc}")
+                    got_index, status, payload = future.result()
+                    if status == "error":
+                        message, worker_tb = payload
+                        pool.shutdown(cancel_futures=True)
+                        raise SweepError(keys[got_index], message, worker_tb)
+                    run, elapsed = payload
+                    entry = self._finish(tasks, keys, entries, got_index, run, elapsed)
+                    done += 1
+                    if self.progress is not None:
+                        self.progress(done, total, entry)
+
+
+# --------------------------------------------------------------------- #
+# Task builders for the paper's sweeps
+# --------------------------------------------------------------------- #
+def maxsd_sweep_tasks(
+    workload: Workload,
+    maxsd_settings: Mapping[str, Union[float, str]],
+    sharing_factor: float = 0.5,
+    runtime_model: Optional[str] = "ideal",
+    malleable_fraction: float = 1.0,
+    seed: int = 0,
+    baseline_key: str = "static_backfill",
+) -> List[SweepTask]:
+    """Tasks for the Figures 1–3 sweep: one static baseline + one SD-Policy
+    run per MAX_SLOWDOWN setting, all on the same workload and seed."""
+    tasks = [
+        SweepTask(
+            workload=workload,
+            policy="static_backfill",
+            key=baseline_key,
+            seed=seed,
+            kwargs={
+                "runtime_model": runtime_model,
+                "malleable_fraction": malleable_fraction,
+            },
+        )
+    ]
+    for label, setting in maxsd_settings.items():
+        tasks.append(
+            SweepTask(
+                workload=workload,
+                policy="sd_policy",
+                key=label,
+                label=label,
+                seed=seed,
+                kwargs={
+                    "runtime_model": runtime_model,
+                    "malleable_fraction": malleable_fraction,
+                    "max_slowdown": setting,
+                    "sharing_factor": sharing_factor,
+                },
+            )
+        )
+    return tasks

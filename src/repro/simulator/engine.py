@@ -6,6 +6,13 @@ schedulers, not in the event plumbing.  Events are never removed from the
 heap; instead, components that reschedule work (e.g. a job whose end time
 moved because it was shrunk) bump a *serial* number on the job and stale
 events are discarded when popped.
+
+The queue additionally deduplicates superseded ``JOB_END`` events itself: it
+remembers the newest validity token pushed per payload, so stale end events
+are dropped at the heap boundary instead of surfacing into the simulation's
+per-instant batches.  On malleable-heavy runs every reconfiguration leaves
+one stale end event behind, so this keeps batch collection and sorting
+proportional to the *live* event count.
 """
 
 from __future__ import annotations
@@ -14,7 +21,7 @@ import enum
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 
 class EventType(enum.IntEnum):
@@ -31,7 +38,7 @@ class EventType(enum.IntEnum):
     SCHEDULE = 2
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A single simulation event.
 
@@ -51,17 +58,57 @@ class Event:
 
 
 class EventQueue:
-    """A time-ordered queue of :class:`Event` objects."""
+    """A time-ordered queue of :class:`Event` objects.
+
+    ``JOB_END`` events are deduplicated by validity token: pushing an end
+    event for a payload supersedes any previously pushed end event of that
+    payload with a lower token, and superseded events are silently dropped
+    when they reach the top of the heap.  ``len()`` and truthiness reflect
+    only the live (non-superseded) events.
+    """
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._counter = itertools.count()
+        # payload -> newest validity token pushed for that payload's end.
+        self._end_tokens: Dict[Any, int] = {}
+        # (payload, token) -> number of such JOB_END events currently in the
+        # heap.  Needed so that superseding an end event that was already
+        # popped (e.g. reconfigured while its old event sits in the current
+        # batch) does not count phantom stale events.
+        self._end_counts: Dict[Tuple[Any, int], int] = {}
+        # Number of superseded JOB_END events still sitting in the heap.
+        self._stale = 0
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return max(0, len(self._heap) - self._stale)
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return len(self._heap) > self._stale
+
+    def _is_stale(self, event: Event) -> bool:
+        return (
+            event.event_type is EventType.JOB_END
+            and self._end_tokens.get(event.payload, event.validity_token)
+            != event.validity_token
+        )
+
+    def _forget(self, event: Event) -> None:
+        """Bookkeeping for a JOB_END event leaving the heap."""
+        if event.event_type is not EventType.JOB_END:
+            return
+        key = (event.payload, event.validity_token)
+        remaining = self._end_counts.get(key, 0) - 1
+        if remaining > 0:
+            self._end_counts[key] = remaining
+        else:
+            self._end_counts.pop(key, None)
+
+    def _discard_stale(self) -> None:
+        heap = self._heap
+        while heap and self._is_stale(heap[0]):
+            self._forget(heapq.heappop(heap))
+            self._stale = max(0, self._stale - 1)
 
     def push(
         self,
@@ -81,18 +128,36 @@ class EventQueue:
             payload=payload,
             validity_token=validity_token,
         )
+        if event_type is EventType.JOB_END:
+            prev = self._end_tokens.get(payload)
+            if prev is None:
+                self._end_tokens[payload] = validity_token
+            elif validity_token > prev:
+                # Events carrying the previous token that are *still in the
+                # heap* become stale (ones already popped contribute zero).
+                self._end_tokens[payload] = validity_token
+                self._stale += self._end_counts.get((payload, prev), 0)
+            elif validity_token < prev:
+                # Pushed already-superseded: stale from birth.
+                self._stale += 1
+            key = (payload, validity_token)
+            self._end_counts[key] = self._end_counts.get(key, 0) + 1
         heapq.heappush(self._heap, event)
         return event
 
     def pop(self) -> Event:
-        """Remove and return the earliest event."""
-        return heapq.heappop(self._heap)
+        """Remove and return the earliest live event."""
+        self._discard_stale()
+        event = heapq.heappop(self._heap)
+        self._forget(event)
+        return event
 
     def peek(self) -> Optional[Event]:
-        """Return the earliest event without removing it (or ``None``)."""
+        """Return the earliest live event without removing it (or ``None``)."""
+        self._discard_stale()
         return self._heap[0] if self._heap else None
 
     def drain(self) -> Iterator[Event]:
-        """Pop every remaining event in order (used by tests)."""
-        while self._heap:
+        """Pop every remaining live event in order (used by tests)."""
+        while self:
             yield self.pop()

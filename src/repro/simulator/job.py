@@ -37,7 +37,7 @@ class JobState(enum.Enum):
     CANCELLED = "cancelled"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ResourceSlot:
     """One interval of a job's resource history.
 

@@ -96,6 +96,22 @@ class ReservationMap:
         return cls(total_nodes, now, free_now, releases)
 
     # ------------------------------------------------------------------ #
+    def copy(self) -> "ReservationMap":
+        """Cheap copy sharing the (immutable) step-function arrays.
+
+        The simulation driver caches the base profile built from the running
+        jobs and hands each scheduling pass a copy, so the pass can add its
+        own reservations without corrupting the cache.  Mutators rebind
+        ``_cache`` rather than mutating the arrays, so sharing is safe.
+        """
+        clone = ReservationMap.__new__(ReservationMap)
+        clone.total_nodes = self.total_nodes
+        clone.now = self.now
+        clone._changes = list(self._changes)
+        clone._free_now = self._free_now
+        clone._cache = self._cache
+        return clone
+
     def add_release(self, time: float, nodes: int) -> None:
         """Record that ``nodes`` nodes become free at ``time``."""
         if nodes <= 0:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.simulator.cluster import Cluster
 from repro.simulator.engine import Event, EventQueue, EventType
@@ -146,17 +146,24 @@ class Simulation:
         are used (oracle predictions).
     """
 
+    #: Sentinel so ``power_model=None`` (disable energy accounting) stays
+    #: distinguishable from "use the default model".  The default model is
+    #: constructed per instance — never share a mutable default across runs.
+    _DEFAULT_POWER_MODEL = object()
+
     def __init__(
         self,
         cluster: Cluster,
         scheduler,
         runtime_model=None,
-        power_model=_DefaultPowerModel(),
+        power_model=_DEFAULT_POWER_MODEL,
         use_requested_time_for_predictions: bool = True,
     ) -> None:
         self.cluster = cluster
         self.scheduler = scheduler
         self.runtime_model = runtime_model or _FullAllocationSpeedModel()
+        if power_model is Simulation._DEFAULT_POWER_MODEL:
+            power_model = _DefaultPowerModel()
         self.power_model = power_model
         self.use_requested_time_for_predictions = use_requested_time_for_predictions
 
@@ -170,6 +177,12 @@ class Simulation:
         self._total_events: int = 0
         self._first_submit: Optional[float] = None
         self._last_end: float = 0.0
+
+        # Availability-profile cache: the base profile derived from the
+        # running set is rebuilt only when the allocation state changes
+        # (version bump) or time advances; schedulers receive copies.
+        self._avail_version: int = 0
+        self._profile_cache: Optional[Tuple[float, int, int, ReservationMap]] = None
 
         if hasattr(self.scheduler, "bind"):
             self.scheduler.bind(self)
@@ -196,21 +209,54 @@ class Simulation:
     # Primitives used by schedulers
     # ------------------------------------------------------------------ #
     def availability_profile(self, extra_running: Iterable[Job] = ()) -> ReservationMap:
-        """Build the future free-node profile from the running jobs."""
-        running = list(self.running.values()) + list(extra_running)
-        return ReservationMap.from_running_jobs(
+        """Build the future free-node profile from the running jobs.
+
+        The profile of the plain running set is cached and invalidated when a
+        job starts, ends or is reconfigured (or when time advances), so the
+        many profile requests issued within one instant — one per submit hook
+        plus one per scheduling pass — rebuild it only once.  Callers always
+        receive a private copy they may add reservations to.
+        """
+        extra = list(extra_running)
+        if extra:
+            return ReservationMap.from_running_jobs(
+                total_nodes=self.cluster.num_nodes,
+                now=self.now,
+                free_now=self.cluster.num_free_nodes,
+                running_jobs=list(self.running.values()) + extra,
+                use_requested_time=self.use_requested_time_for_predictions,
+            )
+        cached = self._profile_cache
+        if (
+            cached is not None
+            and cached[0] == self.now
+            and cached[1] == self.cluster.num_free_nodes
+            and cached[2] == self._avail_version
+        ):
+            return cached[3].copy()
+        base = ReservationMap.from_running_jobs(
             total_nodes=self.cluster.num_nodes,
             now=self.now,
             free_now=self.cluster.num_free_nodes,
-            running_jobs=running,
+            running_jobs=self.running.values(),
             use_requested_time=self.use_requested_time_for_predictions,
         )
+        # Materialise the step-function arrays on the cached instance so
+        # every copy shares them instead of each recomputing from scratch.
+        base._arrays()
+        self._profile_cache = (self.now, self.cluster.num_free_nodes, self._avail_version, base)
+        return base.copy()
+
+    def _invalidate_profile(self) -> None:
+        """Invalidate the cached availability profile (allocation changed)."""
+        self._avail_version += 1
 
     def start_job_static(self, job: Job, node_ids: Optional[Sequence[int]] = None) -> List[int]:
         """Start a job on an exclusive whole-node allocation."""
         if job.job_id not in self.pending:
             raise RuntimeError(f"job {job.job_id} is not pending")
         nodes = self.cluster.allocate_static(job, node_ids)
+        self._invalidate_profile()
         self.pending.remove(job.job_id)
         job.mark_started(self.now, nodes)
         cpus = {nid: self.cluster.node(nid).total_cpus for nid in nodes}
@@ -235,6 +281,7 @@ class Simulation:
         if job.job_id not in self.pending:
             raise RuntimeError(f"job {job.job_id} is not pending")
         nodes = self.cluster.allocate_shared(job, cpus_per_node)
+        self._invalidate_profile()
         self.pending.remove(job.job_id)
         job.mark_started(self.now, nodes)
         speed = self.runtime_model.speed(job, cpus_per_node)
@@ -261,6 +308,7 @@ class Simulation:
         if not cpus_per_node:
             raise ValueError(f"job {job.job_id}: cannot reconfigure to an empty allocation")
         self.cluster.reconfigure_allocation(job.job_id, cpus_per_node)
+        self._invalidate_profile()
         job.allocated_nodes = sorted(cpus_per_node)
         speed = self.runtime_model.speed(job, cpus_per_node)
         job.reconfigure(self.now, cpus_per_node, speed)
@@ -289,6 +337,7 @@ class Simulation:
         job = self.jobs[job_id]
         job.mark_finished(self.now)
         self.cluster.release_job(job)
+        self._invalidate_profile()
         self.running.pop(job_id, None)
         self.completed.append(job)
         self._last_end = max(self._last_end, self.now)

@@ -65,3 +65,43 @@ class TestEventQueue:
         q = EventQueue()
         event = q.push(1.0, EventType.JOB_END, payload=1, validity_token=7)
         assert event.validity_token == 7
+
+
+class TestEndEventDedup:
+    def test_superseded_end_is_dropped(self):
+        q = EventQueue()
+        q.push(10.0, EventType.JOB_END, payload=1, validity_token=0)
+        q.push(20.0, EventType.JOB_END, payload=1, validity_token=1)
+        assert len(q) == 1
+        event = q.pop()
+        assert event.time == 20.0 and event.validity_token == 1
+        assert not q
+
+    def test_supersede_after_pop_does_not_overcount(self):
+        """Superseding an end event already popped into a batch must not make
+        the queue report empty while live events remain (regression)."""
+        q = EventQueue()
+        q.push(5.0, EventType.JOB_END, payload=1, validity_token=0)
+        q.push(5.0, EventType.JOB_END, payload=2, validity_token=0)
+        assert {q.pop().payload, q.pop().payload} == {1, 2}  # batch of two
+        # Job 2 is reconfigured while its old event sits in the batch.
+        q.push(7.0, EventType.JOB_END, payload=2, validity_token=1)
+        assert q  # the new event is live
+        assert len(q) == 1
+        assert q.pop().time == 7.0
+        assert not q
+
+    def test_stale_from_birth_is_dropped(self):
+        q = EventQueue()
+        q.push(9.0, EventType.JOB_END, payload=1, validity_token=3)
+        q.push(4.0, EventType.JOB_END, payload=1, validity_token=1)
+        assert len(q) == 1
+        assert q.pop().validity_token == 3
+        assert not q
+
+    def test_distinct_payloads_do_not_interfere(self):
+        q = EventQueue()
+        q.push(1.0, EventType.JOB_END, payload=1, validity_token=0)
+        q.push(2.0, EventType.JOB_END, payload=2, validity_token=5)
+        assert len(q) == 2
+        assert [e.payload for e in q.drain()] == [1, 2]

@@ -1,0 +1,189 @@
+"""Tests for the parallel sweep runner (:mod:`repro.experiments.sweep`)."""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import pytest
+
+from repro.experiments.paper import figure_1_to_3_maxsd_sweep, table_1_workloads
+from repro.experiments.sweep import (
+    SweepError,
+    SweepRunner,
+    SweepTask,
+    fingerprint_workload,
+    maxsd_sweep_tasks,
+    task_cache_key,
+)
+from repro.workloads.cirne import CirneWorkloadModel
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return CirneWorkloadModel(
+        num_jobs=60, system_nodes=16, cpus_per_node=8, max_job_nodes=8,
+        target_load=1.0, median_runtime_s=1800.0, seed=7, name="sweep_test",
+    ).generate()
+
+
+@pytest.fixture(scope="module")
+def tasks(workload):
+    return maxsd_sweep_tasks(workload, {"MAXSD 10": 10.0, "MAXSD inf": math.inf})
+
+
+class TestSerialParallelEquivalence:
+    def test_identical_metrics_for_same_seeds(self, tasks):
+        serial = SweepRunner(max_workers=1).run(tasks)
+        parallel = SweepRunner(max_workers=2).run(tasks)
+        assert set(serial.runs) == set(parallel.runs)
+        for key in serial.runs:
+            assert (
+                serial[key].metrics.as_dict() == parallel[key].metrics.as_dict()
+            ), f"serial/parallel divergence for {key}"
+
+    def test_parallel_preserves_per_job_results(self, tasks):
+        serial = SweepRunner(max_workers=1).run(tasks)
+        parallel = SweepRunner(max_workers=2).run(tasks)
+        for key in serial.runs:
+            s_jobs = {j.job_id: (j.start_time, j.end_time) for j in serial[key].jobs}
+            p_jobs = {j.job_id: (j.start_time, j.end_time) for j in parallel[key].jobs}
+            assert s_jobs == p_jobs
+
+    def test_entries_preserve_task_order(self, tasks):
+        result = SweepRunner(max_workers=2).run(tasks)
+        assert [e.key for e in result.entries] == [t.resolved_key() for t in tasks]
+
+
+class TestCache:
+    def test_cache_hit_skips_resimulation(self, tasks, tmp_path):
+        first = SweepRunner(max_workers=1, cache_dir=tmp_path).run(tasks)
+        assert first.cache_hits == 0
+        second = SweepRunner(max_workers=1, cache_dir=tmp_path).run(tasks)
+        assert second.cache_hits == len(tasks)
+        assert all(e.from_cache for e in second.entries)
+        for key in first.runs:
+            assert first[key].metrics.as_dict() == second[key].metrics.as_dict()
+
+    def test_cache_key_sensitive_to_config_and_workload(self, workload):
+        base = SweepTask(workload=workload, policy="sd_policy", key="a", seed=0,
+                         kwargs={"max_slowdown": 10.0})
+        other_cfg = SweepTask(workload=workload, policy="sd_policy", key="a", seed=0,
+                              kwargs={"max_slowdown": 50.0})
+        other_seed = SweepTask(workload=workload, policy="sd_policy", key="a", seed=1,
+                               kwargs={"max_slowdown": 10.0})
+        assert task_cache_key(base) != task_cache_key(other_cfg)
+        assert task_cache_key(base) != task_cache_key(other_seed)
+        other_workload = CirneWorkloadModel(
+            num_jobs=50, system_nodes=16, cpus_per_node=8, max_job_nodes=8, seed=8,
+            name="sweep_test_b",
+        ).generate()
+        assert task_cache_key(base) != task_cache_key(
+            SweepTask(workload=other_workload, policy="sd_policy", key="a", seed=0,
+                      kwargs={"max_slowdown": 10.0})
+        )
+
+    def test_fingerprint_is_deterministic(self, workload):
+        assert fingerprint_workload(workload) == fingerprint_workload(workload)
+
+    def test_cache_key_stable_for_equal_model_objects(self, workload):
+        """Object-valued kwargs must not leak memory addresses into the key."""
+        from repro.core.runtime_model import WorstCaseRuntimeModel
+
+        def make():
+            return SweepTask(
+                workload=workload, policy="sd_policy", key="a", seed=0,
+                kwargs={"max_slowdown": 10.0, "estimation_model": WorstCaseRuntimeModel()},
+            )
+
+        assert task_cache_key(make()) == task_cache_key(make())
+
+    def test_corrupt_cache_entry_is_a_miss(self, tasks, tmp_path):
+        runner = SweepRunner(max_workers=1, cache_dir=tmp_path)
+        runner.run(tasks)
+        for path in tmp_path.glob("*.pkl"):
+            path.write_bytes(b"not a pickle")
+        result = SweepRunner(max_workers=1, cache_dir=tmp_path).run(tasks)
+        assert result.cache_hits == 0
+
+    def test_progress_callback_reports_cache_hits(self, tasks, tmp_path):
+        SweepRunner(max_workers=1, cache_dir=tmp_path).run(tasks)
+        events = []
+        SweepRunner(
+            max_workers=1,
+            cache_dir=tmp_path,
+            progress=lambda done, total, entry: events.append(
+                (done, total, entry.key, entry.from_cache)
+            ),
+        ).run(tasks)
+        assert [e[0] for e in events] == list(range(1, len(tasks) + 1))
+        assert all(total == len(tasks) for _, total, _, _ in events)
+        assert all(hit for _, _, _, hit in events)
+
+
+class TestFailures:
+    def test_serial_failure_surfaces_traceback(self, workload):
+        bad = SweepTask(workload=workload, policy="no_such_policy", key="bad")
+        with pytest.raises(SweepError) as excinfo:
+            SweepRunner(max_workers=1).run([bad])
+        message = str(excinfo.value)
+        assert "bad" in message
+        assert "unknown policy" in message
+        assert "Traceback" in message  # the original traceback, not a bare repr
+
+    def test_parallel_failure_surfaces_worker_traceback(self, workload):
+        tasks = [
+            SweepTask(workload=workload, policy="fcfs", key="ok"),
+            SweepTask(workload=workload, policy="no_such_policy", key="bad"),
+        ]
+        with pytest.raises(SweepError) as excinfo:
+            SweepRunner(max_workers=2).run(tasks)
+        message = str(excinfo.value)
+        assert "unknown policy" in message
+        assert "worker traceback" in message
+        assert "make_scheduler" in message  # frame from inside the worker
+
+    def test_duplicate_keys_rejected(self, workload):
+        tasks = [
+            SweepTask(workload=workload, policy="fcfs", key="same"),
+            SweepTask(workload=workload, policy="fcfs", key="same"),
+        ]
+        with pytest.raises(ValueError, match="duplicate"):
+            SweepRunner(max_workers=1).run(tasks)
+
+
+class TestTaskDefaults:
+    def test_derived_seed_is_deterministic(self, workload):
+        a = SweepTask(workload=workload, policy="fcfs", key="k")
+        b = SweepTask(workload=workload, policy="fcfs", key="k")
+        assert a.resolved_seed() == b.resolved_seed()
+        c = SweepTask(workload=workload, policy="fcfs", key="other")
+        assert a.resolved_seed() != c.resolved_seed()
+
+    def test_policy_run_is_picklable(self, workload):
+        run = SweepRunner(max_workers=1).run(
+            [SweepTask(workload=workload, policy="fcfs", key="p")]
+        )["p"]
+        clone = pickle.loads(pickle.dumps(run))
+        assert clone.metrics.as_dict() == run.metrics.as_dict()
+
+
+class TestPaperIntegration:
+    def test_figure_1_to_3_accepts_runner(self, workload, tmp_path):
+        runner = SweepRunner(max_workers=2, cache_dir=tmp_path)
+        first = figure_1_to_3_maxsd_sweep(
+            workload, maxsd_settings={"MAXSD 10": 10.0}, runner=runner
+        )
+        assert first.data["sweep_cache_hits"] == 0
+        second = figure_1_to_3_maxsd_sweep(
+            workload, maxsd_settings={"MAXSD 10": 10.0}, runner=runner
+        )
+        assert second.data["sweep_cache_hits"] == 2  # baseline + 1 setting
+        assert first.data["normalized"] == second.data["normalized"]
+
+    def test_table_1_accepts_runner(self, tmp_path):
+        runner = SweepRunner(max_workers=2, cache_dir=tmp_path)
+        result = table_1_workloads(scale=0.01, workload_ids=(3,), runner=runner)
+        assert 3 in result.data["rows"]
+        again = table_1_workloads(scale=0.01, workload_ids=(3,), runner=runner)
+        assert again.data["rows"][3] == result.data["rows"][3]
