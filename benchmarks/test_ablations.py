@@ -5,17 +5,20 @@ These go beyond the paper's figures: they vary the maximum number of mates
 socket), and the malleable fraction of the workload (the paper's
 simulations assume every job is malleable), quantifying how sensitive
 SD-Policy's gains are to each choice.
+
+Each ablation is a declarative :class:`repro.experiments.scenario.ScenarioSpec`
+(one grid parameter swept against the static baseline) executed through the
+parallel sweep runner, so the independent simulations fan out over the
+process pool instead of running in a serial loop.
 """
 
 from __future__ import annotations
-
-import math
 
 import pytest
 
 from benchmarks.conftest import run_once, save_artifact
 from repro.analysis.tables import metrics_table
-from repro.experiments.runner import run_workload
+from repro.experiments.scenario import ScenarioSpec, WorkloadRef, run_scenario
 from repro.workloads.cirne import CirneWorkloadModel
 
 
@@ -26,21 +29,42 @@ def _ablation_workload():
     ).generate()
 
 
+def _ablation_spec(name: str, grid, baseline=True, policy="sd_policy", base=None) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        workloads=[WorkloadRef(name="ablation")],
+        policy=policy,
+        grid=grid,
+        base={"runtime_model": "ideal", **(base or {})},
+        baseline=(
+            {"policy": "static_backfill", "kwargs": {"runtime_model": "ideal"}}
+            if baseline
+            else None
+        ),
+    )
+
+
+def _run_ablation(spec: ScenarioSpec, workload, baseline_label="static"):
+    """Execute an ablation scenario and collect {label: metrics} rows."""
+    outcome = run_scenario(spec, workloads=workload)
+    runs = {}
+    if outcome.baselines:
+        runs[baseline_label] = outcome.baseline_run.metrics
+    for cell in outcome.cells:
+        runs[cell.label] = cell.run.metrics
+    return runs
+
+
 def test_ablation_max_mates(benchmark):
     """m = 1 vs m = 2 vs m = 3 (the paper found no benefit beyond 2)."""
     workload = _ablation_workload()
+    spec = _ablation_spec(
+        "ablation-max-mates",
+        grid={"max_mates": [1, 2, 3]},
+        base={"max_slowdown": "inf"},
+    )
 
-    def experiment():
-        baseline = run_workload(workload, "static_backfill", runtime_model="ideal")
-        runs = {"static": baseline.metrics}
-        for m in (1, 2, 3):
-            run = run_workload(workload, "sd_policy", runtime_model="ideal",
-                               max_slowdown=math.inf, max_mates=m,
-                               label=f"sd_m{m}")
-            runs[f"max_mates={m}"] = run.metrics
-        return runs
-
-    runs = run_once(benchmark, experiment)
+    runs = run_once(benchmark, lambda: _run_ablation(spec, workload))
     save_artifact("ablation_max_mates", metrics_table(runs, title="Ablation: max mates"))
     static_sd = runs["static"].avg_slowdown
     sd = {m: runs[f"max_mates={m}"].avg_slowdown for m in (1, 2, 3)}
@@ -54,18 +78,13 @@ def test_ablation_max_mates(benchmark):
 def test_ablation_sharing_factor(benchmark):
     """SharingFactor 0.25 / 0.5 / 0.75 (the paper uses 0.5 = one socket)."""
     workload = _ablation_workload()
+    spec = _ablation_spec(
+        "ablation-sharing-factor",
+        grid={"sharing_factor": [0.25, 0.5, 0.75]},
+        base={"max_slowdown": "inf"},
+    )
 
-    def experiment():
-        baseline = run_workload(workload, "static_backfill", runtime_model="ideal")
-        runs = {"static": baseline.metrics}
-        for sf in (0.25, 0.5, 0.75):
-            run = run_workload(workload, "sd_policy", runtime_model="ideal",
-                               max_slowdown=math.inf, sharing_factor=sf,
-                               label=f"sd_sf{sf}")
-            runs[f"sharing_factor={sf}"] = run.metrics
-        return runs
-
-    runs = run_once(benchmark, experiment)
+    runs = run_once(benchmark, lambda: _run_ablation(spec, workload))
     save_artifact("ablation_sharing_factor",
                   metrics_table(runs, title="Ablation: SharingFactor"))
     static_sd = runs["static"].avg_slowdown
@@ -82,17 +101,18 @@ def test_ablation_sharing_factor(benchmark):
 def test_ablation_malleable_fraction(benchmark):
     """0% / 50% / 100% of the workload malleable (mixed workloads)."""
     workload = _ablation_workload()
+    spec = _ablation_spec(
+        "ablation-malleable-fraction",
+        grid={"malleable_fraction": [
+            {"label": "malleable=0%", "value": 0.0},
+            {"label": "malleable=50%", "value": 0.5},
+            {"label": "malleable=100%", "value": 1.0},
+        ]},
+        base={"max_slowdown": "inf"},
+        baseline=False,
+    )
 
-    def experiment():
-        runs = {}
-        for fraction in (0.0, 0.5, 1.0):
-            run = run_workload(workload, "sd_policy", runtime_model="ideal",
-                               max_slowdown=math.inf, malleable_fraction=fraction,
-                               label=f"sd_f{fraction}")
-            runs[f"malleable={fraction:.0%}"] = run.metrics
-        return runs
-
-    runs = run_once(benchmark, experiment)
+    runs = run_once(benchmark, lambda: _run_ablation(spec, workload))
     save_artifact("ablation_malleable_fraction",
                   metrics_table(runs, title="Ablation: malleable fraction"))
     # With no malleable jobs SD-Policy degenerates to static backfill; gains
@@ -105,16 +125,17 @@ def test_ablation_malleable_fraction(benchmark):
 def test_ablation_backfill_depth(benchmark):
     """Backfill depth (SLURM's bf_max_job_test) sensitivity for the baseline."""
     workload = _ablation_workload()
+    spec = _ablation_spec(
+        "ablation-backfill-depth",
+        grid={"max_job_test": [
+            {"label": "depth=10", "value": 10},
+            {"label": "depth=100", "value": 100},
+        ]},
+        policy="static_backfill",
+        baseline=False,
+    )
 
-    def experiment():
-        runs = {}
-        for depth in (10, 100):
-            run = run_workload(workload, "static_backfill", runtime_model="ideal",
-                               max_job_test=depth, label=f"static_d{depth}")
-            runs[f"depth={depth}"] = run.metrics
-        return runs
-
-    runs = run_once(benchmark, experiment)
+    runs = run_once(benchmark, lambda: _run_ablation(spec, workload))
     save_artifact("ablation_backfill_depth",
                   metrics_table(runs, title="Ablation: backfill depth"))
     # A deeper backfill window can only help (or leave unchanged) the

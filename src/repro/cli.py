@@ -8,9 +8,12 @@ shell (installed as ``repro-sdpolicy`` or via ``python -m repro``):
   the normalised comparison;
 * ``sweep`` — run the MAX_SLOWDOWN sweep (Figures 1-3) through the parallel
   sweep runner, with ``--workers`` and an optional on-disk result cache;
+* ``scenario`` — run a declarative scenario spec (a JSON file, or a named
+  built-in such as ``figure4-6``) through the sweep runner;
 * ``table1`` / ``table2`` — regenerate the paper's tables;
 * ``figure`` — regenerate a figure by number (1–9; 1/2/3 and 4/5/6 are
-  grouped as in the paper);
+  grouped as in the paper); every figure honours ``--workers`` and
+  ``--cache-dir``;
 * ``swf`` — inspect a Standard Workload Format file.
 
 Example::
@@ -18,12 +21,15 @@ Example::
     repro-sdpolicy figure 3 --workload 3 --scale 0.05
     repro-sdpolicy compare --workload 1 --scale 0.05 --maxsd 10
     repro-sdpolicy sweep --workload 1 --scale 0.04 --workers 4 --cache-dir auto
+    repro-sdpolicy scenario examples/figure7_scenario.json --workers 2
+    repro-sdpolicy scenario --list
 """
 
 from __future__ import annotations
 
 import argparse
 import math
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -38,6 +44,14 @@ from repro.experiments.paper import (
     table_2_application_mix,
 )
 from repro.experiments.runner import run_workload
+from repro.experiments.scenario import (
+    BUILTIN_SCENARIOS,
+    ScenarioError,
+    builtin_scenario,
+    load_spec,
+    render_report,
+    run_scenario,
+)
 from repro.experiments.sweep import SweepRunner
 from repro.workloads.presets import build_workload
 from repro.workloads.swf import read_swf
@@ -174,33 +188,97 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     figure = args.figure
-    if figure in (4, 5, 6, 7, 9) and (args.workers is not None or args.cache_dir):
-        print(
-            f"note: figure {figure} is not sweep-backed; "
-            "--workers/--cache-dir only apply to figures 1-3 and 8",
-            file=sys.stderr,
-        )
+    runner = _make_runner(args)
     if figure in (1, 2, 3):
         workload = _load_workload(args)
-        result = figure_1_to_3_maxsd_sweep(workload, runner=_make_runner(args))
+        result = figure_1_to_3_maxsd_sweep(workload, runner=runner)
     elif figure in (4, 5, 6):
         workload = _load_workload(args)
-        result = figure_4_to_6_heatmaps(workload, max_slowdown=_parse_maxsd(args.maxsd))
+        result = figure_4_to_6_heatmaps(
+            workload, max_slowdown=_parse_maxsd(args.maxsd), runner=runner
+        )
     elif figure == 7:
         workload = _load_workload(args)
-        result = figure_7_daily_series(workload, max_slowdown=_parse_maxsd(args.maxsd))
+        result = figure_7_daily_series(
+            workload, max_slowdown=_parse_maxsd(args.maxsd), runner=runner
+        )
     elif figure == 8:
         workloads = {
             f"workload{wid}": build_workload(wid, scale=args.scale, seed=args.seed)
             for wid in (1, 2, 3, 4)
         }
-        result = figure_8_runtime_models(workloads, runner=_make_runner(args))
+        result = figure_8_runtime_models(workloads, runner=runner)
     elif figure == 9:
-        result = figure_9_real_run(scale=args.scale)
+        if args.swf or args.workload != 1:
+            print(
+                "warning: figure 9 always replays the real-run workload 5; "
+                "--workload/--swf are ignored (use --scale/--seed to vary it)",
+                file=sys.stderr,
+            )
+        result = figure_9_real_run(
+            scale=args.scale,
+            seed=args.seed if args.seed is not None else 5005,
+            runner=runner,
+        )
     else:
         print(f"unknown figure {figure}", file=sys.stderr)
         return 2
     print(result.text)
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    if args.list or not args.spec:
+        print("built-in scenarios:")
+        for name in sorted(BUILTIN_SCENARIOS):
+            print(f"  {name:12s} {builtin_scenario(name).description}")
+        if not args.spec and not args.list:
+            print("\nusage: repro-sdpolicy scenario <spec.json | builtin name>",
+                  file=sys.stderr)
+            return 2
+        return 0
+    overrides = {}
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    try:
+        if os.path.exists(args.spec):
+            spec = load_spec(args.spec)
+            if overrides:
+                print(
+                    "note: --scale/--seed only apply to built-in scenarios; "
+                    "spec files define their own workload refs",
+                    file=sys.stderr,
+                )
+        elif args.spec in BUILTIN_SCENARIOS:
+            spec = builtin_scenario(args.spec, **overrides)
+        else:
+            print(
+                f"error: {args.spec!r} is neither a spec file nor a built-in "
+                f"scenario (available: {', '.join(sorted(BUILTIN_SCENARIOS))})",
+                file=sys.stderr,
+            )
+            return 2
+    except (ScenarioError, ValueError, OSError) as exc:
+        # ValueError covers malformed JSON / wrong-typed scalar fields.
+        print(f"error: invalid scenario spec {args.spec!r}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        outcome = run_scenario(spec, runner=_make_runner(args, progress=True))
+        report = render_report(outcome)
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report)
+    if outcome.sweep is not None:
+        print(
+            f"\nscenario {spec.name}: {len(outcome.sweep)} runs  "
+            f"wall-clock: {outcome.sweep_wall_clock_seconds:.1f}s  "
+            f"workers: {outcome.sweep_workers}  "
+            f"cache hits: {outcome.sweep_cache_hits}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -243,6 +321,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--runtime-model", default="ideal", choices=["ideal", "worst_case"])
     p_sweep.add_argument("--sharing-factor", type=float, default=0.5)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_sc = sub.add_parser(
+        "scenario",
+        help="run a declarative scenario spec (JSON file or built-in name)",
+    )
+    p_sc.add_argument(
+        "spec", nargs="?", default=None,
+        help="path to a scenario spec JSON file, or a built-in scenario name",
+    )
+    p_sc.add_argument(
+        "--list", action="store_true", help="list the built-in scenarios and exit"
+    )
+    p_sc.add_argument(
+        "--scale", type=float, default=None,
+        help="workload scale override for built-in scenarios (1.0 = paper scale)",
+    )
+    p_sc.add_argument(
+        "--seed", type=int, default=None,
+        help="workload seed override for built-in scenarios",
+    )
+    _add_sweep_args(p_sc)
+    p_sc.set_defaults(func=_cmd_scenario)
 
     p_tab = sub.add_parser("table", help="regenerate Table 1 or Table 2")
     p_tab.add_argument("table", type=int, choices=[1, 2])

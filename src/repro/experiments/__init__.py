@@ -3,10 +3,12 @@
 :mod:`repro.experiments.runner` runs one workload under one policy and
 returns the metrics; :mod:`repro.experiments.sweep` fans independent runs
 out over a process pool with an on-disk result cache;
-:mod:`repro.experiments.paper` composes those runs into the exact sweeps
-behind every table and figure of the paper's evaluation (see the experiment
-index in DESIGN.md).  The benchmarks and the CLI are thin wrappers around
-this package.
+:mod:`repro.experiments.scenario` turns a declarative spec (workload ref ×
+policy × parameter grid, JSON round-trippable) into sweep tasks and reports;
+:mod:`repro.experiments.paper` wraps the built-in scenarios behind every
+table and figure of the paper's evaluation (see the experiment index in
+DESIGN.md).  The benchmarks and the CLI are thin wrappers around this
+package.
 """
 
 from repro.experiments.paper import (
@@ -20,6 +22,19 @@ from repro.experiments.paper import (
     table_2_application_mix,
 )
 from repro.experiments.runner import PolicyRun, cluster_for, run_workload
+from repro.experiments.scenario import (
+    BUILTIN_SCENARIOS,
+    ScenarioCell,
+    ScenarioError,
+    ScenarioOutcome,
+    ScenarioSpec,
+    WorkloadRef,
+    builtin_scenario,
+    load_spec,
+    render_report,
+    run_scenario,
+    save_spec,
+)
 from repro.experiments.sweep import (
     SweepEntry,
     SweepError,
@@ -27,18 +42,24 @@ from repro.experiments.sweep import (
     SweepRunner,
     SweepTask,
     fingerprint_workload,
-    maxsd_sweep_tasks,
     task_cache_key,
 )
 
 __all__ = [
+    "BUILTIN_SCENARIOS",
     "FigureResult",
     "PolicyRun",
+    "ScenarioCell",
+    "ScenarioError",
+    "ScenarioOutcome",
+    "ScenarioSpec",
     "SweepEntry",
     "SweepError",
     "SweepResult",
     "SweepRunner",
     "SweepTask",
+    "WorkloadRef",
+    "builtin_scenario",
     "cluster_for",
     "figure_1_to_3_maxsd_sweep",
     "figure_4_to_6_heatmaps",
@@ -46,8 +67,11 @@ __all__ = [
     "figure_8_runtime_models",
     "figure_9_real_run",
     "fingerprint_workload",
-    "maxsd_sweep_tasks",
+    "load_spec",
+    "render_report",
+    "run_scenario",
     "run_workload",
+    "save_spec",
     "table_1_workloads",
     "table_2_application_mix",
     "task_cache_key",

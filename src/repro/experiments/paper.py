@@ -6,8 +6,12 @@ paper's evaluation (Section 4), at a configurable scale.  The returned
 the benchmarks/tests) and a rendered text version (for humans comparing
 against the paper).
 
-The experiment ↔ module mapping is documented in DESIGN.md; the measured
-values and their comparison with the paper are recorded in EXPERIMENTS.md.
+Each experiment is a declarative :class:`repro.experiments.scenario.ScenarioSpec`
+executed through the parallel :class:`repro.experiments.sweep.SweepRunner`
+(Table 1 builds its tasks directly); nothing here runs simulations in a
+hand-rolled serial loop.  The experiment ↔ module mapping is documented in
+DESIGN.md; the measured values and their comparison with the paper are
+recorded in EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -16,14 +20,20 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
-from repro.analysis.comparison import improvement_percent, normalize_to_baseline
-from repro.analysis.figures import render_bar_chart, render_heatmap, render_series
-from repro.analysis.tables import format_table, metrics_table
-from repro.experiments.runner import PolicyRun, run_workload
-from repro.experiments.sweep import SweepRunner, SweepTask, maxsd_sweep_tasks
-from repro.metrics.heatmap import CategoryGrid, category_heatmap, heatmap_ratio
-from repro.metrics.timeseries import daily_series_table
-from repro.workloads.applications import application_shares
+from repro.analysis.tables import format_table
+from repro.experiments.runner import PolicyRun
+from repro.experiments.scenario import (
+    ScenarioSpec,
+    WorkloadRef,
+    builtin_scenario,
+    realrun_improvements,
+    render_report,
+    report_figures_1_to_3,
+    run_scenario,
+    scenario_daily_rows,
+    scenario_heatmaps,
+)
+from repro.experiments.sweep import SweepRunner, SweepTask
 from repro.workloads.job_record import Workload
 from repro.workloads.presets import PAPER_WORKLOADS, build_workload
 
@@ -119,17 +129,17 @@ def table_1_workloads(
 # --------------------------------------------------------------------- #
 def table_2_application_mix(scale: float = 1.0, seed: int = 5005) -> FigureResult:
     """Table 2: the application mix assigned to the real-run workload."""
-    workload = build_workload(5, scale=scale, seed=seed)
+    from repro.workloads.applications import application_shares
+
+    spec = builtin_scenario("table2", scale=scale, seed=seed)
+    outcome = run_scenario(spec)
+    workload = outcome.workload
     shares = application_shares(workload)
-    rows = [[app, f"{100 * share:.1f}%"] for app, share in shares.items()]
-    text = format_table(
-        ["Application", "% of workload"], rows, title=f"Table 2 (scale={scale:g})"
-    )
     return FigureResult(
         figure="table2",
         description="Real-run workload application mix",
         data={"shares": shares, "num_jobs": len(workload)},
-        text=text,
+        text=render_report(outcome),
     )
 
 
@@ -152,86 +162,87 @@ def figure_1_to_3_maxsd_sweep(
     estimates).  The baseline and every MAX_SLOWDOWN setting are independent
     simulations and fan out through the sweep runner.
     """
-    runner = runner or SweepRunner()
-    sweep = runner.run(
-        maxsd_sweep_tasks(
-            workload,
-            maxsd_settings,
-            sharing_factor=sharing_factor,
-            runtime_model=runtime_model,
-            malleable_fraction=malleable_fraction,
-        )
+    spec = ScenarioSpec(
+        name="figure1-3",
+        workloads=[WorkloadRef(name=workload.name)],
+        policy="sd_policy",
+        grid={
+            "max_slowdown": [
+                {"label": label, "value": setting}
+                for label, setting in maxsd_settings.items()
+            ]
+        },
+        base={
+            "runtime_model": runtime_model,
+            "malleable_fraction": malleable_fraction,
+            "sharing_factor": sharing_factor,
+        },
+        baseline={
+            "policy": "static_backfill",
+            "kwargs": {
+                "runtime_model": runtime_model,
+                "malleable_fraction": malleable_fraction,
+            },
+        },
+        report="figures1-3",
     )
-    baseline = sweep["static_backfill"]
-    normalized: Dict[str, Dict[str, float]] = {}
+    outcome = run_scenario(spec, runner=runner, workloads=workload)
+    baseline = outcome.baseline_run
     runs: Dict[str, PolicyRun] = {"static_backfill": baseline}
-    for label in maxsd_settings:
-        run = sweep[label]
-        runs[label] = run
-        normalized[label] = normalize_to_baseline(run.metrics, baseline.metrics)
-    charts = []
-    for metric, figure_name in (
-        ("makespan", "Figure 1 - makespan"),
-        ("avg_response_time", "Figure 2 - average response time"),
-        ("avg_slowdown", "Figure 3 - average slowdown"),
-    ):
-        charts.append(
-            render_bar_chart(
-                {label: vals[metric] for label, vals in normalized.items()},
-                title=f"{figure_name} ({workload.name}, normalised to static backfill)",
-            )
-        )
+    for cell in outcome.cells:
+        runs[cell.label] = cell.run
     return FigureResult(
         figure="figure1-3",
         description="MAX_SLOWDOWN parameter sweep",
         data={
-            "normalized": normalized,
+            "normalized": outcome.normalized(),
             "baseline": baseline.metrics.as_dict(),
             "runs": {label: run.metrics.as_dict() for label, run in runs.items()},
             "workload": workload.name,
-            "sweep_wall_clock_seconds": sweep.total_wall_clock_seconds,
-            "sweep_workers": sweep.workers,
-            "sweep_cache_hits": sweep.cache_hits,
+            "sweep_wall_clock_seconds": outcome.sweep_wall_clock_seconds,
+            "sweep_workers": outcome.sweep_workers,
+            "sweep_cache_hits": outcome.sweep_cache_hits,
         },
-        text="\n\n".join(charts),
+        text=report_figures_1_to_3(outcome),
     )
 
 
 # --------------------------------------------------------------------- #
 # Figures 4-6: per-category heatmaps on the big workload
 # --------------------------------------------------------------------- #
+def _static_sd_scenario(
+    name: str,
+    workload: Workload,
+    max_slowdown: float,
+    runtime_model: str,
+    runner: Optional[SweepRunner],
+):
+    """Run the shared static/SD pair behind Figures 4-6 and Figure 7."""
+    spec = builtin_scenario(name, max_slowdown=max_slowdown, runtime_model=runtime_model)
+    spec.workloads = [WorkloadRef(name=workload.name)]
+    return run_scenario(spec, runner=runner, workloads=workload)
+
+
 def figure_4_to_6_heatmaps(
     workload: Workload,
     max_slowdown: float = 10.0,
     runtime_model: str = "ideal",
+    runner: Optional[SweepRunner] = None,
 ) -> FigureResult:
     """Figures 4, 5, 6: static/SD ratio per job category (workload 4)."""
-    static = run_workload(workload, "static_backfill", runtime_model=runtime_model)
-    sd = run_workload(
-        workload, "sd_policy", runtime_model=runtime_model, max_slowdown=max_slowdown
+    outcome = _static_sd_scenario(
+        "figure4-6", workload, max_slowdown, runtime_model, runner
     )
-    grids: Dict[str, CategoryGrid] = {}
-    texts: List[str] = []
-    for metric, figure_name in (
-        ("slowdown", "Figure 4 - slowdown ratio (static / SD-Policy)"),
-        ("runtime", "Figure 5 - runtime ratio (static / SD-Policy)"),
-        ("wait", "Figure 6 - wait-time ratio (static / SD-Policy)"),
-    ):
-        ratio = heatmap_ratio(
-            category_heatmap(static.jobs, metric=metric),
-            category_heatmap(sd.jobs, metric=metric),
-        )
-        grids[metric] = ratio
-        texts.append(render_heatmap(ratio, title=f"{figure_name} ({workload.name})"))
+    static, sd = outcome.baseline_run, outcome.cells[0].run
     return FigureResult(
         figure="figure4-6",
         description="Per-category ratios between static backfill and SD-Policy",
         data={
-            "grids": grids,
+            "grids": scenario_heatmaps(outcome),
             "static_metrics": static.metrics.as_dict(),
             "sd_metrics": sd.metrics.as_dict(),
         },
-        text="\n\n".join(texts),
+        text=render_report(outcome),
     )
 
 
@@ -242,13 +253,14 @@ def figure_7_daily_series(
     workload: Workload,
     max_slowdown: float = 10.0,
     runtime_model: str = "ideal",
+    runner: Optional[SweepRunner] = None,
 ) -> FigureResult:
     """Figure 7: daily average slowdown and malleable-job counts."""
-    static = run_workload(workload, "static_backfill", runtime_model=runtime_model)
-    sd = run_workload(
-        workload, "sd_policy", runtime_model=runtime_model, max_slowdown=max_slowdown
+    outcome = _static_sd_scenario(
+        "figure7", workload, max_slowdown, runtime_model, runner
     )
-    rows = daily_series_table(static.jobs, sd.jobs)
+    static, sd = outcome.baseline_run, outcome.cells[0].run
+    rows = scenario_daily_rows(outcome)
     total_jobs = max(1, len(sd.jobs))
     data = {
         "rows": rows,
@@ -259,17 +271,11 @@ def figure_7_daily_series(
         "static_metrics": static.metrics.as_dict(),
         "sd_metrics": sd.metrics.as_dict(),
     }
-    text = render_series(
-        rows,
-        x_key="day",
-        series_keys=("static_slowdown", "sd_slowdown", "malleable_jobs"),
-        title=f"Figure 7 - daily average slowdown ({workload.name})",
-    )
     return FigureResult(
         figure="figure7",
         description="Daily slowdown trend and malleable-job counts",
         data=data,
-        text=text,
+        text=render_report(outcome),
     )
 
 
@@ -288,54 +294,22 @@ def figure_8_runtime_models(
     and normalised to the static backfill run of the same workload.  All
     ``3 × len(workloads)`` simulations fan out through the sweep runner.
     """
-    runner = runner or SweepRunner()
-    tasks: List[SweepTask] = []
-    for name, workload in workloads.items():
-        tasks.append(
-            SweepTask(workload=workload, policy="static_backfill",
-                      key=f"{name}/static", seed=0)
-        )
-        for model in ("ideal", "worst_case"):
-            tasks.append(
-                SweepTask(
-                    workload=workload,
-                    policy="sd_policy",
-                    key=f"{name}/{model}",
-                    label=f"sd_{model}",
-                    seed=0,
-                    kwargs={
-                        "runtime_model": model,
-                        "max_slowdown": max_slowdown,
-                        "sharing_factor": sharing_factor,
-                    },
-                )
-            )
-    sweep = runner.run(tasks)
+    spec = builtin_scenario(
+        "figure8", max_slowdown=max_slowdown, sharing_factor=sharing_factor
+    )
+    spec.workloads = [WorkloadRef(name=name) for name in workloads]
+    outcome = run_scenario(spec, runner=runner, workloads=workloads)
     per_workload: Dict[str, Dict[str, Dict[str, float]]] = {}
-    charts: List[str] = []
-    for name, workload in workloads.items():
-        baseline = sweep[f"{name}/static"]
-        entry: Dict[str, Dict[str, float]] = {}
-        for model in ("ideal", "worst_case"):
-            run = sweep[f"{name}/{model}"]
-            entry[model] = normalize_to_baseline(run.metrics, baseline.metrics)
-        per_workload[name] = entry
-        chart_values = {
-            f"{model}/{metric}": entry[model][metric]
-            for model in entry
-            for metric in ("makespan", "avg_response_time", "avg_slowdown")
+    for name in workloads:
+        per_workload[name] = {
+            str(cell.params["runtime_model"]): cell.normalized
+            for cell in outcome.cells_for(name)
         }
-        charts.append(
-            render_bar_chart(
-                chart_values,
-                title=f"Figure 8 - runtime models ({name}, normalised to static backfill)",
-            )
-        )
     return FigureResult(
         figure="figure8",
         description="Ideal vs worst-case runtime model",
         data={"per_workload": per_workload},
-        text="\n\n".join(charts),
+        text=render_report(outcome),
     )
 
 
@@ -347,39 +321,33 @@ def figure_9_real_run(
     sharing_factor: float = 0.5,
     max_slowdown: Union[float, str] = "dynamic",
     seed: int = 5005,
+    runner: Optional[SweepRunner] = None,
 ) -> FigureResult:
     """Figure 9: improvements of SD-Policy in the emulated MareNostrum4 run.
 
-    Delegates to :mod:`repro.realrun.emulator`, which replays workload 5
-    with application-aware performance and energy models on the 49-node
-    system, and reports the percentage improvement of makespan, response
-    time, slowdown and energy over static backfill.
+    Replays workload 5 with application-aware performance and energy models
+    on the 49-node system, and reports the percentage improvement of
+    makespan, response time, slowdown and energy over static backfill.  The
+    static/SD pair fans out through the sweep runner.
     """
-    from repro.realrun.emulator import RealRunEmulator
-
-    emulator = RealRunEmulator(
+    spec = builtin_scenario(
+        "figure9",
         scale=scale,
+        seed=seed,
         sharing_factor=sharing_factor,
         max_slowdown=max_slowdown,
-        seed=seed,
     )
-    outcome = emulator.compare()
-    improvements = outcome.improvements
-    text = render_bar_chart(
-        improvements,
-        title="Figure 9 - improvement (%) of SD-Policy over static backfill",
-        reference=0.0,
-        fmt="{:.1f}%",
-    )
+    outcome = run_scenario(spec, runner=runner)
+    stats = realrun_improvements(outcome)
     return FigureResult(
         figure="figure9",
         description="Real-run (emulated MareNostrum4) improvements",
         data={
-            "improvements": improvements,
-            "static_metrics": outcome.static_metrics.as_dict(),
-            "sd_metrics": outcome.sd_metrics.as_dict(),
-            "better_runtime_jobs": outcome.better_runtime_jobs,
-            "malleable_scheduled": outcome.sd_metrics.malleable_scheduled,
+            "improvements": stats["improvements"],
+            "static_metrics": stats["static_metrics"].as_dict(),
+            "sd_metrics": stats["sd_metrics"].as_dict(),
+            "better_runtime_jobs": stats["better_runtime_jobs"],
+            "malleable_scheduled": stats["malleable_scheduled"],
         },
-        text=text,
+        text=render_report(outcome),
     )

@@ -86,6 +86,7 @@ def run_workload(
     tasks_per_node: int = 1,
     power_model: Optional[LinearPowerModel] = _DEFAULT_POWER_MODEL,
     use_requested_time_for_predictions: bool = True,
+    contention_coefficient: Optional[float] = None,
     label: Optional[str] = None,
     seed: int = 0,
     **policy_kwargs,
@@ -94,16 +95,32 @@ def run_workload(
 
     Parameters mirror the knobs the paper varies: the policy (static
     backfill vs SD-Policy with a MAX_SLOWDOWN setting), the runtime model
-    (ideal vs worst case, Figure 8), and the malleable fraction of the
-    workload (all-malleable in the paper's simulations).
+    (ideal vs worst case, Figure 8; ``"application_aware"`` selects the
+    real-run interference model, with an optional
+    ``contention_coefficient``), and the malleable fraction of the workload
+    (all-malleable in the paper's simulations).
     """
     scheduler = make_scheduler(policy, **policy_kwargs)
     if power_model is _DEFAULT_POWER_MODEL:
         power_model = LinearPowerModel()
     if isinstance(runtime_model, str):
-        from repro.core.runtime_model import get_model
+        if runtime_model == "application_aware":
+            from repro.realrun.interference import (
+                DEFAULT_CONTENTION_COEFFICIENT,
+                ApplicationAwareRuntimeModel,
+            )
 
-        runtime_model = get_model(runtime_model)
+            runtime_model = ApplicationAwareRuntimeModel(
+                contention_coefficient=(
+                    DEFAULT_CONTENTION_COEFFICIENT
+                    if contention_coefficient is None
+                    else contention_coefficient
+                )
+            )
+        else:
+            from repro.core.runtime_model import get_model
+
+            runtime_model = get_model(runtime_model)
     cluster = cluster_for(workload)
     sim = Simulation(
         cluster,
@@ -112,6 +129,8 @@ def run_workload(
         power_model=power_model,
         use_requested_time_for_predictions=use_requested_time_for_predictions,
     )
+    if hasattr(runtime_model, "bind_cluster"):
+        runtime_model.bind_cluster(cluster, sim.jobs)
     jobs = workload.to_jobs(
         cpus_per_node=cluster.cpus_per_node,
         malleable_fraction=malleable_fraction,

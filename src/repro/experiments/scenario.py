@@ -1,0 +1,962 @@
+"""Declarative scenario subsystem: spec in, paper artifact out.
+
+A :class:`ScenarioSpec` describes one experiment the way the paper's
+evaluation section does — *which workload(s)* (a Table 1 preset at a scale,
+or a real SWF log), *which policy*, and *which parameter grid*
+(``max_slowdown``, ``sharing_factor``, ``malleable_fraction``,
+``runtime_model``, …) — without any Python control flow.  The spec
+
+* round-trips through a plain dict / JSON file (``to_dict``/``from_dict``,
+  ``load_spec``/``save_spec``), so scenarios are data, not code;
+* expands its grid into :class:`repro.experiments.sweep.SweepTask` lists
+  with stable per-cell keys (grid order is preserved);
+* executes through :class:`repro.experiments.sweep.SweepRunner`, so every
+  cell fans out over the process pool and hits the on-disk result cache;
+* normalises every cell to the scenario's baseline run (the paper's
+  "normalised to static backfill" convention).
+
+Every figure/table function in :mod:`repro.experiments.paper` and every
+ablation benchmark is a thin wrapper around :func:`run_scenario` plus one of
+the report renderers below; ``repro-sdpolicy scenario`` runs a user-written
+JSON spec (or a named built-in) from the shell.  Writing a new experiment
+means writing a spec, not a loop.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.analysis.comparison import improvement_percent, normalize_to_baseline
+from repro.analysis.figures import render_bar_chart, render_heatmap, render_series
+from repro.analysis.tables import format_table, metrics_table
+from repro.experiments.runner import PolicyRun
+from repro.experiments.sweep import SweepResult, SweepRunner, SweepTask
+from repro.metrics.heatmap import CategoryGrid, category_heatmap, heatmap_ratio
+from repro.metrics.timeseries import daily_series_table
+from repro.workloads.job_record import Workload
+
+#: Metrics normalised against the baseline (the paper's Figures 1-3/8 keys).
+NORMALIZED_KEYS = ("makespan", "avg_response_time", "avg_slowdown")
+
+
+class ScenarioError(ValueError):
+    """Raised for malformed scenario specs."""
+
+
+# --------------------------------------------------------------------- #
+# JSON-safe value encoding (inf does not exist in strict JSON)
+# --------------------------------------------------------------------- #
+def encode_value(value: Any) -> Any:
+    """Encode one parameter value into a JSON-safe form (inf → ``"inf"``)."""
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            raise ScenarioError("NaN is not a valid scenario parameter value")
+    if isinstance(value, dict):
+        return {k: encode_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [encode_value(v) for v in value]
+    return value
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value` (``"inf"`` → ``math.inf``)."""
+    if isinstance(value, str):
+        lowered = value.lower()
+        if lowered in ("inf", "+inf", "infinity"):
+            return math.inf
+        if lowered in ("-inf", "-infinity"):
+            return -math.inf
+        return value
+    if isinstance(value, dict):
+        return {k: decode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [decode_value(v) for v in value]
+    return value
+
+
+def _format_value(value: Any) -> str:
+    """Compact display form of a grid value for auto-generated labels."""
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return f"{value:g}"
+    return str(value)
+
+
+# --------------------------------------------------------------------- #
+# Workload references
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class WorkloadRef:
+    """Reference to a workload: a Table 1 preset at a scale, or an SWF log.
+
+    Exactly one of ``preset`` (a paper workload id, 1-5) and ``swf`` (a path
+    to a Standard Workload Format file) should be set.  A ref with neither
+    is *abstract* — valid only when :func:`run_scenario` is handed a
+    pre-built workload override (the ablation benchmarks do this for their
+    custom generator models).
+    """
+
+    preset: Optional[int] = None
+    swf: Optional[str] = None
+    scale: float = 1.0
+    seed: Optional[int] = None
+    name: Optional[str] = None
+
+    def key(self) -> str:
+        """Stable key identifying this ref inside the scenario."""
+        if self.name:
+            return self.name
+        if self.preset is not None:
+            return f"workload{self.preset}"
+        if self.swf:
+            return os.path.splitext(os.path.basename(self.swf))[0]
+        return "workload"
+
+    def build(self) -> Workload:
+        """Materialise the referenced workload."""
+        if self.preset is not None and self.swf:
+            raise ScenarioError(
+                f"workload ref {self.key()!r}: preset and swf are mutually exclusive"
+            )
+        if self.preset is not None:
+            from repro.workloads.presets import build_workload
+
+            return build_workload(self.preset, scale=self.scale, seed=self.seed)
+        if self.swf:
+            from repro.workloads.swf import read_swf
+
+            return read_swf(self.swf)
+        raise ScenarioError(
+            f"workload ref {self.key()!r} is abstract (no preset or swf); "
+            "pass a pre-built workload to run_scenario()"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        if self.preset is not None:
+            out["preset"] = self.preset
+        if self.swf is not None:
+            out["swf"] = self.swf
+        if self.scale != 1.0:
+            out["scale"] = self.scale
+        if self.seed is not None:
+            out["seed"] = self.seed
+        if self.name is not None:
+            out["name"] = self.name
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadRef":
+        known = {"preset", "swf", "scale", "seed", "name"}
+        unknown = set(data) - known
+        if unknown:
+            raise ScenarioError(f"unknown workload ref fields: {sorted(unknown)}")
+        return cls(
+            preset=data.get("preset"),
+            swf=data.get("swf"),
+            scale=float(data.get("scale", 1.0)),
+            seed=data.get("seed"),
+            name=data.get("name"),
+        )
+
+
+# --------------------------------------------------------------------- #
+# Grid points
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GridPoint:
+    """One value of one grid parameter, with its display label."""
+
+    param: str
+    value: Any
+    label: str
+
+    def __hash__(self) -> int:  # value may be unhashable; label is unique
+        return hash((self.param, self.label))
+
+
+def _as_grid(grid: Mapping[str, Sequence[Any]]) -> Dict[str, List[GridPoint]]:
+    """Normalise a grid mapping into labelled :class:`GridPoint` lists.
+
+    Accepts plain values (auto-labelled ``param=value``) or
+    ``{"label": ..., "value": ...}`` dicts for custom labels.
+    """
+    out: Dict[str, List[GridPoint]] = {}
+    for param, values in grid.items():
+        if isinstance(values, (str, bytes)) or not isinstance(values, (list, tuple)):
+            raise ScenarioError(f"grid parameter {param!r} must map to a list of values")
+        points: List[GridPoint] = []
+        for value in values:
+            if isinstance(value, GridPoint):
+                points.append(value)
+                continue
+            if isinstance(value, Mapping):
+                extra = set(value) - {"label", "value"}
+                if extra or "value" not in value:
+                    raise ScenarioError(
+                        f"grid parameter {param!r}: labelled values need exactly "
+                        f"'label' and 'value' keys, got {sorted(value)}"
+                    )
+                raw = decode_value(value["value"])
+                label = str(value.get("label") or f"{param}={_format_value(raw)}")
+            else:
+                raw = decode_value(value)
+                label = f"{param}={_format_value(raw)}"
+            points.append(GridPoint(param=param, value=raw, label=label))
+        labels = [p.label for p in points]
+        if len(set(labels)) != len(labels):
+            raise ScenarioError(f"grid parameter {param!r} has duplicate labels: {labels}")
+        out[param] = points
+    return out
+
+
+# --------------------------------------------------------------------- #
+# The spec
+# --------------------------------------------------------------------- #
+@dataclass
+class ScenarioSpec:
+    """Declarative description of one experiment.
+
+    Parameters
+    ----------
+    name / description:
+        Identification, echoed in the default report.
+    workloads:
+        One or more :class:`WorkloadRef`; with several refs the whole grid
+        runs per workload and cells normalise to *their own* workload's
+        baseline (the Figure 8 shape).
+    policy:
+        Scheduler name for every grid cell (``sd_policy`` by default).  A
+        grid parameter named ``"policy"`` overrides it per cell.
+    grid:
+        Mapping of run/scheduler parameter → list of values (plain, or
+        ``{"label", "value"}`` dicts).  The cartesian product over the
+        parameters (in mapping order) defines the cells; an empty grid is a
+        single cell running ``policy`` with ``base`` alone.
+    base:
+        Parameters shared by every cell (e.g. ``runtime_model``,
+        ``sharing_factor``); grid values win on conflict.
+    baseline:
+        Optional ``{"policy": ..., "kwargs": {...}}`` run executed once per
+        workload and used to normalise every cell.  ``None`` disables
+        normalisation.
+    seed:
+        Simulation seed forwarded to every task (the paper runs use 0).
+    report:
+        Name of the report renderer used by :func:`render_report` — one of
+        ``table``, ``figures1-3``, ``heatmaps``, ``daily``,
+        ``runtime_models``, ``realrun``, ``mix``.
+    """
+
+    name: str
+    workloads: List[WorkloadRef] = field(default_factory=list)
+    policy: Optional[str] = "sd_policy"
+    grid: Dict[str, List[GridPoint]] = field(default_factory=dict)
+    base: Dict[str, Any] = field(default_factory=dict)
+    baseline: Optional[Dict[str, Any]] = None
+    seed: int = 0
+    report: str = "table"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if isinstance(self.workloads, WorkloadRef):
+            self.workloads = [self.workloads]
+        self.grid = _as_grid(self.grid)
+        self.base = decode_value(dict(self.base))
+        if self.baseline is not None:
+            extra = set(self.baseline) - {"policy", "kwargs"}
+            if extra:
+                raise ScenarioError(f"unknown baseline fields: {sorted(extra)}")
+            self.baseline = {
+                "policy": self.baseline.get("policy", "static_backfill"),
+                "kwargs": decode_value(dict(self.baseline.get("kwargs") or {})),
+            }
+        if not self.workloads:
+            raise ScenarioError(f"scenario {self.name!r} needs at least one workload ref")
+        keys = [ref.key() for ref in self.workloads]
+        if len(set(keys)) != len(keys):
+            raise ScenarioError(f"duplicate workload keys in scenario {self.name!r}: {keys}")
+        if self.report not in REPORTS:
+            raise ScenarioError(
+                f"unknown report {self.report!r}; expected one of {sorted(REPORTS)}"
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def baseline_label(self) -> Optional[str]:
+        """Display label of the baseline run (its policy name)."""
+        if self.baseline is None:
+            return None
+        return str(self.baseline["policy"])
+
+    def cells(self) -> List[Tuple[str, str, Dict[str, Any]]]:
+        """Expand the grid into ``(label, policy, params)`` cells, in order.
+
+        A spec with ``policy=None`` and no ``"policy"`` grid parameter has
+        no cells at all — a *workload-only* scenario (Table 2 is one).
+        """
+        if self.policy is None and "policy" not in self.grid:
+            return []
+        combos: List[List[GridPoint]] = [[]]
+        for points in self.grid.values():
+            combos = [combo + [point] for combo in combos for point in points]
+        out: List[Tuple[str, str, Dict[str, Any]]] = []
+        for combo in combos:
+            params = dict(self.base)
+            params.update({point.param: point.value for point in combo})
+            policy = str(params.pop("policy", self.policy or "sd_policy"))
+            label = ", ".join(point.label for point in combo) or policy
+            out.append((label, policy, params))
+        labels = [label for label, _, _ in out]
+        if len(set(labels)) != len(labels):
+            raise ScenarioError(f"scenario {self.name!r} has duplicate cell labels")
+        return out
+
+    def tasks(self, workloads: Mapping[str, Workload]) -> List[SweepTask]:
+        """Expand the scenario into sweep tasks, one per (workload × cell).
+
+        ``workloads`` maps each ref key to its materialised workload.  Task
+        keys are ``<workload key>::<cell label>`` (``::baseline`` for the
+        baseline run), unique by construction.
+        """
+        tasks: List[SweepTask] = []
+        for ref in self.workloads:
+            wkey = ref.key()
+            workload = workloads[wkey]
+            if self.baseline is not None:
+                tasks.append(
+                    SweepTask(
+                        workload=workload,
+                        policy=str(self.baseline["policy"]),
+                        key=f"{wkey}::baseline",
+                        seed=self.seed,
+                        kwargs=dict(self.baseline["kwargs"]),
+                    )
+                )
+            for label, policy, params in self.cells():
+                tasks.append(
+                    SweepTask(
+                        workload=workload,
+                        policy=policy,
+                        key=f"{wkey}::{label}",
+                        label=label,
+                        seed=self.seed,
+                        kwargs=params,
+                    )
+                )
+        return tasks
+
+    # ------------------------------------------------------------------ #
+    # Dict / JSON round-trip
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict (JSON-safe) form of the spec."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "workloads": [ref.to_dict() for ref in self.workloads],
+            "policy": self.policy,
+            "grid": {
+                param: [
+                    {"label": p.label, "value": encode_value(p.value)} for p in points
+                ]
+                for param, points in self.grid.items()
+            },
+            "base": encode_value(self.base),
+            "seed": self.seed,
+            "report": self.report,
+        }
+        if self.baseline is not None:
+            out["baseline"] = {
+                "policy": self.baseline["policy"],
+                "kwargs": encode_value(self.baseline["kwargs"]),
+            }
+        if self.description:
+            out["description"] = self.description
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Build a spec from its dict form (inverse of :meth:`to_dict`)."""
+        known = {
+            "name", "workload", "workloads", "policy", "grid", "base",
+            "baseline", "seed", "report", "description",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ScenarioError(f"unknown scenario fields: {sorted(unknown)}")
+        if "name" not in data:
+            raise ScenarioError("scenario spec needs a 'name'")
+        refs_data = data.get("workloads")
+        if refs_data is None:
+            single = data.get("workload")
+            refs_data = [single] if single is not None else []
+        workloads = [WorkloadRef.from_dict(ref) for ref in refs_data]
+        baseline = data.get("baseline")
+        if isinstance(baseline, str):
+            baseline = {"policy": baseline, "kwargs": {}}
+        elif baseline is not None:
+            baseline = {
+                "policy": baseline.get("policy", "static_backfill"),
+                "kwargs": decode_value(baseline.get("kwargs") or {}),
+            }
+        return cls(
+            name=str(data["name"]),
+            workloads=workloads,
+            policy=data.get("policy", "sd_policy"),
+            # Values pass through verbatim; _as_grid rejects non-list values
+            # (list("inf") would otherwise explode into per-character cells).
+            grid=dict(data.get("grid") or {}),
+            base=decode_value(data.get("base") or {}),
+            baseline=baseline,
+            seed=int(data.get("seed", 0)),
+            report=str(data.get("report", "table")),
+            description=str(data.get("description", "")),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+
+def load_spec(path: Union[str, os.PathLike]) -> ScenarioSpec:
+    """Load a scenario spec from a JSON file."""
+    return ScenarioSpec.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+def save_spec(spec: ScenarioSpec, path: Union[str, os.PathLike]) -> None:
+    """Write a scenario spec to a JSON file."""
+    Path(path).write_text(spec.to_json() + "\n", encoding="utf-8")
+
+
+# --------------------------------------------------------------------- #
+# Execution
+# --------------------------------------------------------------------- #
+@dataclass
+class ScenarioCell:
+    """One executed grid cell of a scenario."""
+
+    label: str
+    workload_key: str
+    policy: str
+    params: Dict[str, Any]
+    run: PolicyRun
+    normalized: Optional[Dict[str, float]] = None
+
+
+@dataclass
+class ScenarioOutcome:
+    """All runs of one scenario, with per-workload baselines."""
+
+    spec: ScenarioSpec
+    workloads: Dict[str, Workload]
+    baselines: Dict[str, PolicyRun]
+    cells: List[ScenarioCell]
+    sweep: Optional[SweepResult] = None
+    #: Memo for derived statistics (heatmap grids, daily rows, real-run
+    #: improvements), so the figure data and its rendered report share one
+    #: computation over the job lists.
+    _cache: Dict[str, Any] = field(default_factory=dict, repr=False, compare=False)
+
+    # -- single-workload conveniences ---------------------------------- #
+    @property
+    def workload(self) -> Workload:
+        """The workload of a single-workload scenario."""
+        if len(self.workloads) != 1:
+            raise ValueError("scenario has several workloads; index by key")
+        return next(iter(self.workloads.values()))
+
+    @property
+    def baseline_run(self) -> Optional[PolicyRun]:
+        """The baseline run of a single-workload scenario (or ``None``)."""
+        if not self.baselines:
+            return None
+        if len(self.workloads) != 1:
+            raise ValueError("scenario has several workloads; use .baselines")
+        return next(iter(self.baselines.values()))
+
+    def cells_for(self, workload_key: str) -> List[ScenarioCell]:
+        """The cells of one workload, in grid order."""
+        return [c for c in self.cells if c.workload_key == workload_key]
+
+    def normalized(self, workload_key: Optional[str] = None) -> Dict[str, Dict[str, float]]:
+        """``{cell label: normalised metrics}`` for one workload."""
+        if workload_key is None:
+            key = next(iter(self.workloads))
+        else:
+            key = workload_key
+        return {
+            c.label: c.normalized
+            for c in self.cells_for(key)
+            if c.normalized is not None
+        }
+
+    @property
+    def runs(self) -> Dict[str, PolicyRun]:
+        """All runs keyed by their sweep key (``wkey::label``)."""
+        out = {f"{k}::baseline": run for k, run in self.baselines.items()}
+        for cell in self.cells:
+            out[f"{cell.workload_key}::{cell.label}"] = cell.run
+        return out
+
+    # -- sweep statistics ---------------------------------------------- #
+    @property
+    def sweep_wall_clock_seconds(self) -> float:
+        return self.sweep.total_wall_clock_seconds if self.sweep else 0.0
+
+    @property
+    def sweep_workers(self) -> int:
+        return self.sweep.workers if self.sweep else 0
+
+    @property
+    def sweep_cache_hits(self) -> int:
+        return self.sweep.cache_hits if self.sweep else 0
+
+
+def _resolve_workloads(
+    spec: ScenarioSpec,
+    override: Optional[Union[Workload, Mapping[str, Workload]]],
+) -> Dict[str, Workload]:
+    keys = [ref.key() for ref in spec.workloads]
+    if override is None:
+        return {ref.key(): ref.build() for ref in spec.workloads}
+    if isinstance(override, Workload):
+        if len(keys) != 1:
+            raise ScenarioError(
+                "a single workload override needs a single-workload scenario"
+            )
+        return {keys[0]: override}
+    resolved: Dict[str, Workload] = {}
+    for ref in spec.workloads:
+        key = ref.key()
+        resolved[key] = override[key] if key in override else ref.build()
+    return resolved
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    runner: Optional[SweepRunner] = None,
+    workloads: Optional[Union[Workload, Mapping[str, Workload]]] = None,
+) -> ScenarioOutcome:
+    """Execute a scenario through the parallel sweep runner.
+
+    ``workloads`` optionally overrides the spec's workload refs with
+    pre-built :class:`Workload` objects — a bare workload for
+    single-workload scenarios, or a mapping keyed like the refs.  Cells are
+    normalised to their workload's baseline run when the spec has one.
+    """
+    resolved = _resolve_workloads(spec, workloads)
+    tasks = spec.tasks(resolved)
+    sweep = None
+    if tasks:
+        runner = runner or SweepRunner()
+        sweep = runner.run(tasks)
+    baselines: Dict[str, PolicyRun] = {}
+    cells: List[ScenarioCell] = []
+    for ref in spec.workloads:
+        wkey = ref.key()
+        baseline = None
+        if spec.baseline is not None and sweep is not None:
+            baseline = sweep[f"{wkey}::baseline"]
+            baselines[wkey] = baseline
+        for label, policy, params in spec.cells() if tasks else []:
+            run = sweep[f"{wkey}::{label}"]
+            cells.append(
+                ScenarioCell(
+                    label=label,
+                    workload_key=wkey,
+                    policy=policy,
+                    params=params,
+                    run=run,
+                    normalized=(
+                        normalize_to_baseline(run.metrics, baseline.metrics)
+                        if baseline is not None
+                        else None
+                    ),
+                )
+            )
+    return ScenarioOutcome(
+        spec=spec,
+        workloads=resolved,
+        baselines=baselines,
+        cells=cells,
+        sweep=sweep,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Report renderers
+# --------------------------------------------------------------------- #
+def report_table(outcome: ScenarioOutcome) -> str:
+    """Generic report: per-workload metrics table plus normalised columns."""
+    spec = outcome.spec
+    blocks: List[str] = []
+    for wkey, workload in outcome.workloads.items():
+        runs: Dict[str, Any] = {}
+        baseline = outcome.baselines.get(wkey)
+        if baseline is not None:
+            runs[spec.baseline_label] = baseline.metrics
+        for cell in outcome.cells_for(wkey):
+            runs[cell.label] = cell.run.metrics
+        title = f"Scenario {spec.name} ({workload.name}, {len(workload)} jobs)"
+        if not runs:
+            blocks.append(f"{title}\n(no simulations: workload-only scenario)")
+            continue
+        blocks.append(metrics_table(runs, title=title))
+        if baseline is not None:
+            headers = ["cell"] + list(NORMALIZED_KEYS)
+            rows = [
+                [cell.label] + [cell.normalized.get(k, float("nan")) for k in NORMALIZED_KEYS]
+                for cell in outcome.cells_for(wkey)
+                if cell.normalized is not None
+            ]
+            blocks.append(
+                format_table(
+                    headers,
+                    rows,
+                    title=f"Normalised to {spec.baseline_label} (values < 1 improve)",
+                )
+            )
+    return "\n\n".join(blocks)
+
+
+def report_figures_1_to_3(outcome: ScenarioOutcome) -> str:
+    """The Figures 1-3 bar charts (normalised makespan/response/slowdown)."""
+    workload = outcome.workload
+    normalized = outcome.normalized()
+    charts = []
+    for metric, figure_name in (
+        ("makespan", "Figure 1 - makespan"),
+        ("avg_response_time", "Figure 2 - average response time"),
+        ("avg_slowdown", "Figure 3 - average slowdown"),
+    ):
+        charts.append(
+            render_bar_chart(
+                {label: vals[metric] for label, vals in normalized.items()},
+                title=f"{figure_name} ({workload.name}, normalised to static backfill)",
+            )
+        )
+    return "\n\n".join(charts)
+
+
+def _static_sd_pair(outcome: ScenarioOutcome) -> Tuple[PolicyRun, PolicyRun]:
+    """The (baseline, single-cell) run pair of a two-run scenario."""
+    baseline = outcome.baseline_run
+    if baseline is None or len(outcome.cells) != 1:
+        raise ScenarioError(
+            f"report {outcome.spec.report!r} needs a baseline and exactly one "
+            f"grid cell; got {len(outcome.cells)} cells"
+        )
+    return baseline, outcome.cells[0].run
+
+
+def scenario_heatmaps(outcome: ScenarioOutcome) -> Dict[str, CategoryGrid]:
+    """Figures 4-6 grids: per-category static/SD ratios of the run pair."""
+    if "heatmaps" not in outcome._cache:
+        static, sd = _static_sd_pair(outcome)
+        grids: Dict[str, CategoryGrid] = {}
+        for metric in ("slowdown", "runtime", "wait"):
+            grids[metric] = heatmap_ratio(
+                category_heatmap(static.jobs, metric=metric),
+                category_heatmap(sd.jobs, metric=metric),
+            )
+        outcome._cache["heatmaps"] = grids
+    return outcome._cache["heatmaps"]
+
+
+def report_heatmaps(outcome: ScenarioOutcome) -> str:
+    """The Figures 4-6 text heatmaps."""
+    workload = outcome.workload
+    grids = scenario_heatmaps(outcome)
+    texts = []
+    for metric, figure_name in (
+        ("slowdown", "Figure 4 - slowdown ratio (static / SD-Policy)"),
+        ("runtime", "Figure 5 - runtime ratio (static / SD-Policy)"),
+        ("wait", "Figure 6 - wait-time ratio (static / SD-Policy)"),
+    ):
+        texts.append(render_heatmap(grids[metric], title=f"{figure_name} ({workload.name})"))
+    return "\n\n".join(texts)
+
+
+def scenario_daily_rows(outcome: ScenarioOutcome) -> List[Dict[str, float]]:
+    """Figure 7 rows: per-day slowdowns and malleable counts of the pair."""
+    if "daily_rows" not in outcome._cache:
+        static, sd = _static_sd_pair(outcome)
+        outcome._cache["daily_rows"] = daily_series_table(static.jobs, sd.jobs)
+    return outcome._cache["daily_rows"]
+
+
+def report_daily(outcome: ScenarioOutcome) -> str:
+    """The Figure 7 day table (daily slowdown + malleable counts)."""
+    return render_series(
+        scenario_daily_rows(outcome),
+        x_key="day",
+        series_keys=("static_slowdown", "sd_slowdown", "malleable_jobs"),
+        title=f"Figure 7 - daily average slowdown ({outcome.workload.name})",
+    )
+
+
+def report_runtime_models(outcome: ScenarioOutcome) -> str:
+    """The Figure 8 charts: ideal vs worst-case model per workload."""
+    charts: List[str] = []
+    for wkey in outcome.workloads:
+        entry = {
+            str(cell.params.get("runtime_model", cell.label)): cell.normalized
+            for cell in outcome.cells_for(wkey)
+            if cell.normalized is not None
+        }
+        chart_values = {
+            f"{model}/{metric}": entry[model][metric]
+            for model in entry
+            for metric in NORMALIZED_KEYS
+        }
+        charts.append(
+            render_bar_chart(
+                chart_values,
+                title=f"Figure 8 - runtime models ({wkey}, normalised to static backfill)",
+            )
+        )
+    return "\n\n".join(charts)
+
+
+def realrun_improvements(
+    outcome: ScenarioOutcome, power_model: Optional[Any] = None
+) -> Dict[str, Any]:
+    """Figure 9 statistics of a real-run scenario (energy recomputed).
+
+    The real-run pair simulates with the application-aware runtime model
+    and no in-simulation power integration; energy is recomputed here with
+    the MareNostrum4-style model of :mod:`repro.realrun.energy`, exactly as
+    the emulator does.
+    """
+    from repro.metrics.aggregates import compute_metrics
+    from repro.metrics.energy import LinearPowerModel
+    from repro.realrun.emulator import RealRunEmulator
+    from repro.realrun.energy import real_run_energy
+
+    # Only the default-power-model result is memoised; an explicit model
+    # (the emulator's) bypasses the cache.
+    cacheable = power_model is None
+    if cacheable and "realrun" in outcome._cache:
+        return outcome._cache["realrun"]
+    static, sd = _static_sd_pair(outcome)
+    workload = outcome.workload
+    power_model = power_model or LinearPowerModel()
+    static_energy = real_run_energy(
+        static.jobs, workload.system_nodes, workload.cpus_per_node, power_model
+    )
+    sd_energy = real_run_energy(
+        sd.jobs, workload.system_nodes, workload.cpus_per_node, power_model
+    )
+    static_metrics = compute_metrics(static.jobs, energy_joules=static_energy)
+    sd_metrics = compute_metrics(sd.jobs, energy_joules=sd_energy)
+    stats = {
+        "improvements": improvement_percent(sd_metrics, static_metrics),
+        "static_metrics": static_metrics,
+        "sd_metrics": sd_metrics,
+        "better_runtime_jobs": RealRunEmulator._better_runtime_jobs(sd.jobs),
+        "malleable_scheduled": sd_metrics.malleable_scheduled,
+        "static_jobs": static.jobs,
+        "sd_jobs": sd.jobs,
+    }
+    if cacheable:
+        outcome._cache["realrun"] = stats
+    return stats
+
+
+def report_realrun(outcome: ScenarioOutcome) -> str:
+    """The Figure 9 improvement chart."""
+    stats = realrun_improvements(outcome)
+    return render_bar_chart(
+        stats["improvements"],
+        title="Figure 9 - improvement (%) of SD-Policy over static backfill",
+        reference=0.0,
+        fmt="{:.1f}%",
+    )
+
+
+def report_mix(outcome: ScenarioOutcome) -> str:
+    """The Table 2 application-mix table (a workload-only scenario)."""
+    from repro.workloads.applications import application_shares
+
+    workload = outcome.workload
+    shares = application_shares(workload)
+    rows = [[app, f"{100 * share:.1f}%"] for app, share in shares.items()]
+    scale = outcome.spec.workloads[0].scale
+    return format_table(
+        ["Application", "% of workload"], rows, title=f"Table 2 (scale={scale:g})"
+    )
+
+
+REPORTS = {
+    "table": report_table,
+    "figures1-3": report_figures_1_to_3,
+    "heatmaps": report_heatmaps,
+    "daily": report_daily,
+    "runtime_models": report_runtime_models,
+    "realrun": report_realrun,
+    "mix": report_mix,
+}
+
+
+def render_report(outcome: ScenarioOutcome) -> str:
+    """Render a scenario outcome with the report its spec selects."""
+    return REPORTS[outcome.spec.report](outcome)
+
+
+# --------------------------------------------------------------------- #
+# Built-in scenarios (one per paper figure/table)
+# --------------------------------------------------------------------- #
+#: MAX_SLOWDOWN grid of Figures 1-3, with the paper's display labels.
+MAXSD_GRID: List[Dict[str, Any]] = [
+    {"label": "MAXSD 5", "value": 5.0},
+    {"label": "MAXSD 10", "value": 10.0},
+    {"label": "MAXSD 50", "value": 50.0},
+    {"label": "MAXSD inf", "value": "inf"},
+    {"label": "DynAVGSD", "value": "dynamic"},
+]
+
+#: Benchmark scales per preset (kept in sync with benchmarks/conftest.py).
+_BENCH_SCALES = {1: 0.04, 2: 0.04, 3: 0.02, 4: 0.01, 5: 0.35}
+
+
+def _spec_figure_1_to_3(workload_id: int = 1, scale: Optional[float] = None,
+                        seed: Optional[int] = None) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"figure1-3-workload{workload_id}",
+        description="Figures 1-3: MAX_SLOWDOWN sweep, normalised to static backfill",
+        workloads=[WorkloadRef(preset=workload_id,
+                               scale=_BENCH_SCALES[workload_id] if scale is None else scale,
+                               seed=seed)],
+        policy="sd_policy",
+        grid={"max_slowdown": MAXSD_GRID},
+        base={"runtime_model": "ideal", "malleable_fraction": 1.0, "sharing_factor": 0.5},
+        baseline={"policy": "static_backfill",
+                  "kwargs": {"runtime_model": "ideal", "malleable_fraction": 1.0}},
+        report="figures1-3",
+    )
+
+
+def _spec_static_sd_pair(name: str, report: str, description: str,
+                         scale: Optional[float] = None,
+                         seed: Optional[int] = None,
+                         max_slowdown: Any = 10.0,
+                         runtime_model: str = "ideal") -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        description=description,
+        workloads=[WorkloadRef(preset=4, scale=_BENCH_SCALES[4] if scale is None else scale,
+                               seed=seed)],
+        policy="sd_policy",
+        grid={"max_slowdown": [max_slowdown]},
+        base={"runtime_model": runtime_model},
+        baseline={"policy": "static_backfill", "kwargs": {"runtime_model": runtime_model}},
+        report=report,
+    )
+
+
+def _spec_figure_8(scale: Optional[float] = None, seed: Optional[int] = None,
+                   max_slowdown: Any = "dynamic",
+                   sharing_factor: float = 0.5) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="figure8",
+        description="Figure 8: ideal vs worst-case runtime model on workloads 1-4",
+        workloads=[
+            WorkloadRef(preset=wid, scale=_BENCH_SCALES[wid] if scale is None else scale,
+                        seed=seed)
+            for wid in (1, 2, 3, 4)
+        ],
+        policy="sd_policy",
+        grid={"runtime_model": [
+            {"label": "ideal", "value": "ideal"},
+            {"label": "worst_case", "value": "worst_case"},
+        ]},
+        base={"max_slowdown": max_slowdown, "sharing_factor": sharing_factor},
+        baseline={"policy": "static_backfill", "kwargs": {}},
+        report="runtime_models",
+    )
+
+
+def _spec_figure_9(scale: float = _BENCH_SCALES[5], seed: int = 5005,
+                   sharing_factor: float = 0.5,
+                   max_slowdown: Any = "dynamic") -> ScenarioSpec:
+    return ScenarioSpec(
+        name="figure9",
+        description="Figure 9: the emulated MareNostrum4 real run (workload 5)",
+        workloads=[WorkloadRef(preset=5, scale=scale, seed=seed)],
+        policy="sd_policy",
+        grid={"max_slowdown": [max_slowdown]},
+        base={
+            "runtime_model": "application_aware",
+            "power_model": None,
+            "sharing_factor": sharing_factor,
+        },
+        baseline={
+            "policy": "static_backfill",
+            "kwargs": {"runtime_model": "application_aware", "power_model": None},
+        },
+        report="realrun",
+    )
+
+
+def _spec_table_2(scale: float = 1.0, seed: int = 5005) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="table2",
+        description="Table 2: application mix of the real-run workload (no simulation)",
+        workloads=[WorkloadRef(preset=5, scale=scale, seed=seed)],
+        policy=None,
+        grid={},
+        base={},
+        baseline=None,
+        report="mix",
+    )
+
+
+BUILTIN_SCENARIOS: Dict[str, Any] = {
+    "figure1-3": _spec_figure_1_to_3,
+    "figure4-6": lambda **kw: _spec_static_sd_pair(
+        "figure4-6", "heatmaps",
+        "Figures 4-6: per-category static/SD ratios on the CEA-Curie-like workload",
+        **kw,
+    ),
+    "figure7": lambda **kw: _spec_static_sd_pair(
+        "figure7", "daily",
+        "Figure 7: daily slowdown trend and malleable counts (CEA-Curie-like)",
+        **kw,
+    ),
+    "figure8": _spec_figure_8,
+    "figure9": _spec_figure_9,
+    "table2": _spec_table_2,
+}
+
+
+def builtin_scenario(name: str, **overrides) -> ScenarioSpec:
+    """Build a named built-in scenario (see :data:`BUILTIN_SCENARIOS`).
+
+    Keyword overrides are forwarded to the spec factory (``scale``, ``seed``
+    and, where meaningful, ``max_slowdown`` / ``sharing_factor`` …).
+    """
+    if name not in BUILTIN_SCENARIOS:
+        raise ScenarioError(
+            f"unknown built-in scenario {name!r}; available: {sorted(BUILTIN_SCENARIOS)}"
+        )
+    return BUILTIN_SCENARIOS[name](**overrides)

@@ -13,8 +13,10 @@ fans those calls out over a process pool with
 * progress callbacks, and
 * worker failures that surface the *original* traceback in the parent.
 
-The per-figure experiment functions in :mod:`repro.experiments.paper` and
-the ``sweep`` CLI subcommand all run through this module.
+The scenario layer (:mod:`repro.experiments.scenario`) expands declarative
+specs into task lists for this runner; the per-figure experiment functions
+in :mod:`repro.experiments.paper` and the ``sweep``/``scenario`` CLI
+subcommands all run through it.
 """
 
 from __future__ import annotations
@@ -453,48 +455,3 @@ class SweepRunner:
                     done += 1
                     if self.progress is not None:
                         self.progress(done, total, entry)
-
-
-# --------------------------------------------------------------------- #
-# Task builders for the paper's sweeps
-# --------------------------------------------------------------------- #
-def maxsd_sweep_tasks(
-    workload: Workload,
-    maxsd_settings: Mapping[str, Union[float, str]],
-    sharing_factor: float = 0.5,
-    runtime_model: Optional[str] = "ideal",
-    malleable_fraction: float = 1.0,
-    seed: int = 0,
-    baseline_key: str = "static_backfill",
-) -> List[SweepTask]:
-    """Tasks for the Figures 1–3 sweep: one static baseline + one SD-Policy
-    run per MAX_SLOWDOWN setting, all on the same workload and seed."""
-    tasks = [
-        SweepTask(
-            workload=workload,
-            policy="static_backfill",
-            key=baseline_key,
-            seed=seed,
-            kwargs={
-                "runtime_model": runtime_model,
-                "malleable_fraction": malleable_fraction,
-            },
-        )
-    ]
-    for label, setting in maxsd_settings.items():
-        tasks.append(
-            SweepTask(
-                workload=workload,
-                policy="sd_policy",
-                key=label,
-                label=label,
-                seed=seed,
-                kwargs={
-                    "runtime_model": runtime_model,
-                    "malleable_fraction": malleable_fraction,
-                    "max_slowdown": setting,
-                    "sharing_factor": sharing_factor,
-                },
-            )
-        )
-    return tasks

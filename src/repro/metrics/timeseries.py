@@ -57,16 +57,25 @@ def daily_malleable_counts(jobs: Iterable[Job], origin: float | None = None) -> 
 def daily_series_table(
     static_jobs: Iterable[Job],
     sd_jobs: Iterable[Job],
+    origin: float | None = None,
 ) -> List[Dict[str, float]]:
     """Rows combining both runs per day: the data behind Figure 7.
 
     Each row has ``day``, ``static_slowdown``, ``sd_slowdown`` and
-    ``malleable_jobs``.  The day axis is aligned on each run's own first
-    submission (both runs replay the same workload, so the days coincide).
+    ``malleable_jobs``.  The day axis is aligned on one *shared* origin —
+    the earliest submission among the completed jobs of *both* runs — so
+    two runs whose earliest completed job differs (e.g. one run drops or
+    never finishes the first job) still report the same calendar days on
+    the same rows.  Pass ``origin`` explicitly to pin day 0 elsewhere.
     """
-    static = daily_slowdown(static_jobs)
-    sd = daily_slowdown(sd_jobs)
-    malleable = daily_malleable_counts(sd_jobs)
+    static_done = [j for j in static_jobs if j.end_time is not None]
+    sd_done = [j for j in sd_jobs if j.end_time is not None]
+    if origin is None:
+        submits = [j.submit_time for j in static_done] + [j.submit_time for j in sd_done]
+        origin = min(submits) if submits else 0.0
+    static = daily_slowdown(static_done, origin=origin)
+    sd = daily_slowdown(sd_done, origin=origin)
+    malleable = daily_malleable_counts(sd_done, origin=origin)
     days = sorted(set(static) | set(sd))
     rows: List[Dict[str, float]] = []
     for day in days:

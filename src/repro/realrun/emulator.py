@@ -5,7 +5,9 @@ jobs converted into PILS/STREAM/CoreNeuron/NEST/Alya submissions) on a
 49-node system twice — once under static backfill and once under SD-Policy —
 using the application-aware runtime and energy models, and reports the
 percentage improvements the paper plots in Figure 9 (makespan, average
-response time, average slowdown, energy).
+response time, average slowdown, energy).  The static/SD pair is expressed
+as a declarative scenario and fans out through the parallel sweep runner
+(both runs hit the on-disk result cache when one is configured).
 """
 
 from __future__ import annotations
@@ -14,17 +16,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
-from repro.analysis.comparison import improvement_percent
-from repro.core.sd_policy import SDPolicyConfig, SDPolicyScheduler
-from repro.metrics.aggregates import WorkloadMetrics, compute_metrics
+from repro.metrics.aggregates import WorkloadMetrics
 from repro.metrics.energy import LinearPowerModel
-from repro.realrun.apps import get_application
-from repro.realrun.energy import real_run_energy
-from repro.realrun.interference import ApplicationAwareRuntimeModel
-from repro.schedulers.backfill import BackfillScheduler
-from repro.simulator.cluster import Cluster
 from repro.simulator.job import Job
-from repro.simulator.simulation import Simulation
 from repro.workloads.job_record import Workload
 from repro.workloads.presets import workload_5
 
@@ -76,23 +70,6 @@ class RealRunEmulator:
         self.seed = seed
         self.workload = workload if workload is not None else workload_5(scale=scale, seed=seed)
 
-    # ------------------------------------------------------------------ #
-    def _run(self, scheduler) -> Simulation:
-        cluster = Cluster(
-            num_nodes=self.workload.system_nodes,
-            sockets=2,
-            cores_per_socket=max(1, self.workload.cpus_per_node // 2),
-        )
-        model = ApplicationAwareRuntimeModel(
-            contention_coefficient=self.contention_coefficient
-        )
-        sim = Simulation(cluster, scheduler, runtime_model=model, power_model=None)
-        model.bind_cluster(cluster, sim.jobs)
-        jobs = self.workload.to_jobs(cpus_per_node=cluster.cpus_per_node)
-        sim.submit_jobs(jobs)
-        sim.run()
-        return sim
-
     @staticmethod
     def _better_runtime_jobs(jobs: List[Job]) -> int:
         """Count malleable-scheduled jobs whose runtime, proportioned to the
@@ -118,34 +95,41 @@ class RealRunEmulator:
         return better
 
     # ------------------------------------------------------------------ #
-    def compare(self) -> RealRunOutcome:
-        """Run static backfill and SD-Policy and compute the improvements."""
-        started = time.perf_counter()
-        static_sim = self._run(BackfillScheduler())
-        sd_sim = self._run(
-            SDPolicyScheduler(
-                SDPolicyConfig(
-                    sharing_factor=self.sharing_factor,
-                    max_slowdown=self.max_slowdown,
-                )
-            )
+    def scenario_spec(self):
+        """The declarative scenario describing this emulation's run pair."""
+        from repro.experiments.scenario import builtin_scenario
+        from repro.realrun.interference import DEFAULT_CONTENTION_COEFFICIENT
+
+        spec = builtin_scenario(
+            "figure9",
+            scale=self.scale,
+            seed=self.seed,
+            sharing_factor=self.sharing_factor,
+            max_slowdown=self.max_slowdown,
         )
-        static_jobs = static_sim.completed
-        sd_jobs = sd_sim.completed
-        num_nodes = self.workload.system_nodes
-        cpus_per_node = self.workload.cpus_per_node
-        static_energy = real_run_energy(static_jobs, num_nodes, cpus_per_node, self.power_model)
-        sd_energy = real_run_energy(sd_jobs, num_nodes, cpus_per_node, self.power_model)
-        static_metrics = compute_metrics(static_jobs, energy_joules=static_energy)
-        sd_metrics = compute_metrics(sd_jobs, energy_joules=sd_energy)
-        improvements = improvement_percent(sd_metrics, static_metrics)
+        if self.contention_coefficient != DEFAULT_CONTENTION_COEFFICIENT:
+            spec.base["contention_coefficient"] = self.contention_coefficient
+            spec.baseline["kwargs"]["contention_coefficient"] = self.contention_coefficient
+        return spec
+
+    def compare(self, runner=None) -> RealRunOutcome:
+        """Run static backfill and SD-Policy and compute the improvements.
+
+        ``runner`` is an optional :class:`repro.experiments.sweep.SweepRunner`
+        controlling the fan-out (worker count, result cache).
+        """
+        from repro.experiments.scenario import realrun_improvements, run_scenario
+
+        started = time.perf_counter()
+        outcome = run_scenario(self.scenario_spec(), runner=runner, workloads=self.workload)
+        stats = realrun_improvements(outcome, power_model=self.power_model)
         return RealRunOutcome(
-            improvements=improvements,
-            static_metrics=static_metrics,
-            sd_metrics=sd_metrics,
-            better_runtime_jobs=self._better_runtime_jobs(sd_jobs),
-            malleable_scheduled=sd_metrics.malleable_scheduled,
-            static_jobs=static_jobs,
-            sd_jobs=sd_jobs,
+            improvements=stats["improvements"],
+            static_metrics=stats["static_metrics"],
+            sd_metrics=stats["sd_metrics"],
+            better_runtime_jobs=stats["better_runtime_jobs"],
+            malleable_scheduled=stats["malleable_scheduled"],
+            static_jobs=stats["static_jobs"],
+            sd_jobs=stats["sd_jobs"],
             wall_clock_seconds=time.perf_counter() - started,
         )

@@ -25,8 +25,11 @@ class PendingQueue:
         self._jobs: Dict[int, Job] = {}
         # Fast path: with default (FIFO) priorities and time-ordered
         # insertion, the dict's insertion order already is the scheduling
-        # order, so ``ordered()`` can skip the sort.  Any job with a custom
-        # priority disables the fast path for the queue's lifetime.
+        # order, so ``ordered()`` can skip the sort.  The flag is cleared
+        # the moment the invariant stops holding: a job with a custom
+        # priority, or an insertion behind the current tail (e.g. a
+        # ``remove()`` + re-``add()`` of an earlier-submitted job, which
+        # appends it at the end of the dict and out of FIFO order).
         self._fifo_only = True
 
     def __len__(self) -> int:
@@ -44,6 +47,12 @@ class PendingQueue:
             raise ValueError(f"job {job.job_id} already pending")
         if job.priority != -job.submit_time:
             self._fifo_only = False
+        elif self._fifo_only and self._jobs:
+            # Appending behind a later-submitted tail breaks "insertion
+            # order == FIFO order"; fall back to sorting from here on.
+            tail = self._jobs[next(reversed(self._jobs))]
+            if (job.submit_time, job.job_id) < (tail.submit_time, tail.job_id):
+                self._fifo_only = False
         self._jobs[job.job_id] = job
 
     def remove(self, job_id: int) -> Job:

@@ -75,12 +75,11 @@ def _parse_line(line: str, lineno: int) -> Optional[JobRecord]:
         # Cancelled or broken records: the paper's evaluation (and standard
         # practice) drops them.
         return None
-    req_time_val = req_time if req_time > 0 else run_time
     return JobRecord(
         job_id=int(job_id),
         submit_time=max(0.0, submit),
         run_time=run_time,
-        requested_time=max(req_time_val, run_time if req_time <= 0 else req_time_val),
+        requested_time=req_time if req_time > 0 else run_time,
         requested_procs=procs,
         user_id=int(user) if user >= 0 else 0,
         group_id=int(group) if group >= 0 else 0,
@@ -167,12 +166,29 @@ def _header_int(line: str) -> Optional[int]:
         return None
 
 
+def _num(value: float) -> str:
+    """Compact numeric field: integers without a decimal point, floats exact.
+
+    ``repr`` round-trips floats exactly through the reader's ``float()``, so
+    a write → read cycle preserves fractional times and memory figures.
+    """
+    v = float(value)
+    return str(int(v)) if v.is_integer() else repr(v)
+
+
 def write_swf(
     workload: Workload,
     target: Union[str, os.PathLike, TextIO],
     comments: Sequence[str] = (),
 ) -> None:
-    """Write a workload to SWF (canonical 18-column format)."""
+    """Write a workload to SWF (canonical 18-column format).
+
+    The fields the reader preserves in :attr:`JobRecord.extra` — average
+    CPU time, used memory, requested memory, queue, partition, preceding
+    job, think time — are written back out, so a read → write round-trip is
+    lossless for them (missing entries are written as the SWF "unknown"
+    value, ``-1``).
+    """
     close = False
     if isinstance(target, (str, os.PathLike)):
         fh: TextIO = open(target, "w", encoding="utf-8")
@@ -180,7 +196,7 @@ def write_swf(
     else:
         fh = target
     try:
-        fh.write(f"; Generated by repro (SD-Policy reproduction)\n")
+        fh.write("; Generated by repro (SD-Policy reproduction)\n")
         fh.write(f"; MaxNodes: {workload.system_nodes}\n")
         fh.write(f"; MaxProcs: {workload.system_cpus}\n")
         for comment in comments:
@@ -188,23 +204,23 @@ def write_swf(
         for r in workload.records:
             fields = [
                 r.job_id,
-                int(r.submit_time),
-                int(r.wait_time) if r.wait_time >= 0 else -1,
-                int(r.run_time),
+                _num(r.submit_time),
+                _num(r.wait_time) if r.wait_time >= 0 else -1,
+                _num(r.run_time),
                 r.used_procs if r.used_procs > 0 else r.requested_procs,
-                -1,
-                -1,
+                _num(r.extra.get("avg_cpu_time", -1)),
+                _num(r.extra.get("used_memory", -1)),
                 r.requested_procs,
-                int(r.requested_time),
-                -1,
+                _num(r.requested_time),
+                _num(r.extra.get("requested_memory", -1)),
                 r.status,
                 r.user_id,
                 r.group_id,
                 r.executable,
-                int(r.extra.get("queue", -1)),
-                int(r.extra.get("partition", -1)),
-                int(r.extra.get("preceding_job", -1)),
-                int(r.extra.get("think_time", -1)),
+                _num(r.extra.get("queue", -1)),
+                _num(r.extra.get("partition", -1)),
+                _num(r.extra.get("preceding_job", -1)),
+                _num(r.extra.get("think_time", -1)),
             ]
             fh.write(" ".join(str(f) for f in fields) + "\n")
     finally:

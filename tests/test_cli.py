@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -54,3 +56,118 @@ class TestCommands:
         write_swf(tiny_workload, path)
         assert main(["run", "--swf", str(path), "--policy", "static_backfill"]) == 0
         assert "makespan" in capsys.readouterr().out
+
+    def test_figure_4_honours_workers_and_cache(self, tmp_path, capsys):
+        """Figures 4-6 are sweep-backed now: no 'not sweep-backed' note, and
+        a rerun with the same cache directory is served from it."""
+        cache = tmp_path / "cache"
+        argv = ["figure", "4", "--workload", "3", "--scale", "0.01",
+                "--workers", "2", "--cache-dir", str(cache)]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "Figure 4" in first.out
+        assert "not sweep-backed" not in first.err
+        assert any(cache.glob("*.pkl")), "cache directory was not populated"
+        assert main(argv) == 0
+        assert "Figure 4" in capsys.readouterr().out
+
+    def test_figure_7_honours_workers(self, tmp_path, capsys):
+        assert main(["figure", "7", "--workload", "3", "--scale", "0.01",
+                     "--workers", "2", "--cache-dir", str(tmp_path / "c")]) == 0
+        captured = capsys.readouterr()
+        assert "Figure 7" in captured.out
+        assert "not sweep-backed" not in captured.err
+
+    def test_figure_9_warns_on_ignored_workload_args(self, tmp_path, capsys):
+        assert main(["figure", "9", "--workload", "3", "--scale", "0.02",
+                     "--cache-dir", str(tmp_path / "c")]) == 0
+        captured = capsys.readouterr()
+        assert "Figure 9" in captured.out
+        assert "--workload/--swf are ignored" in captured.err
+
+    def test_figure_9_no_warning_by_default(self, capsys):
+        assert main(["figure", "9", "--scale", "0.02"]) == 0
+        captured = capsys.readouterr()
+        assert "ignored" not in captured.err
+
+
+class TestScenarioCommand:
+    def _spec_path(self, tmp_path, tiny_workload, **overrides):
+        swf = tmp_path / "tiny.swf"
+        write_swf(tiny_workload, swf)
+        spec = {
+            "name": "cli-test",
+            "workloads": [{"swf": str(swf)}],
+            "policy": "sd_policy",
+            "grid": {"max_slowdown": [{"label": "MAXSD inf", "value": "inf"}]},
+            "base": {"runtime_model": "ideal"},
+            "baseline": {"policy": "static_backfill",
+                         "kwargs": {"runtime_model": "ideal"}},
+        }
+        spec.update(overrides)
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec), encoding="utf-8")
+        return path
+
+    def test_list_builtins(self, capsys):
+        assert main(["scenario", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("figure1-3", "figure4-6", "figure7", "figure8", "figure9", "table2"):
+            assert name in out
+
+    def test_no_spec_is_an_error_with_usage(self, capsys):
+        assert main(["scenario"]) == 2
+        captured = capsys.readouterr()
+        assert "built-in scenarios" in captured.out
+        assert "usage" in captured.err
+
+    def test_unknown_spec_rejected(self, capsys):
+        assert main(["scenario", "no-such-scenario"]) == 2
+        assert "neither a spec file nor a built-in" in capsys.readouterr().err
+
+    def test_spec_file_runs_with_workers_and_cache(self, tmp_path, tiny_workload, capsys):
+        path = self._spec_path(tmp_path, tiny_workload)
+        cache = tmp_path / "cache"
+        argv = ["scenario", str(path), "--workers", "2", "--cache-dir", str(cache)]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "Scenario cli-test" in first.out
+        assert "MAXSD inf" in first.out
+        assert "cache hits: 0" in first.err
+        # Rerun: both runs come from the on-disk cache.
+        assert main(argv) == 0
+        assert "cache hits: 2" in capsys.readouterr().err
+
+    def test_builtin_table2_runs(self, capsys):
+        assert main(["scenario", "table2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_builtin_accepts_scale_override(self, capsys):
+        assert main(["scenario", "table2", "--scale", "0.1"]) == 0
+        assert "Table 2 (scale=0.1)" in capsys.readouterr().out
+
+    def test_spec_file_notes_ignored_scale(self, tmp_path, tiny_workload, capsys):
+        path = self._spec_path(tmp_path, tiny_workload)
+        assert main(["scenario", str(path), "--scale", "0.5"]) == 0
+        assert "only apply to built-in scenarios" in capsys.readouterr().err
+
+    def test_malformed_spec_reports_error(self, tmp_path, tiny_workload, capsys):
+        path = self._spec_path(tmp_path, tiny_workload, report="piechart")
+        assert main(["scenario", str(path)]) == 2
+        assert "unknown report" in capsys.readouterr().err
+
+    def test_invalid_json_reports_error(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert main(["scenario", str(path)]) == 2
+        assert "invalid scenario spec" in capsys.readouterr().err
+
+    def test_report_cell_mismatch_reports_error(self, tmp_path, tiny_workload, capsys):
+        # 'daily' needs exactly one cell; a two-cell grid fails at render
+        # time with a clean message, not a traceback.
+        path = self._spec_path(
+            tmp_path, tiny_workload, report="daily",
+            grid={"max_slowdown": [5.0, 10.0]},
+        )
+        assert main(["scenario", str(path)]) == 2
+        assert "exactly one" in capsys.readouterr().err

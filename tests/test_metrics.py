@@ -144,6 +144,37 @@ class TestTimeSeries:
         assert rows[1]["malleable_jobs"] == 1
         assert rows[0]["static_slowdown"] == pytest.approx(rows[0]["sd_slowdown"])
 
+    def test_series_table_shares_one_origin_across_runs(self):
+        """Regression: runs whose earliest *completed* job differs must not
+        derive shifted per-run day axes."""
+        day = 86400.0
+        # The static run never completes the day-0 job (end_time None), so
+        # its own earliest completion is on day 1 of the workload.
+        unfinished = finished_job(1, submit=0.0, start=10.0, runtime=100.0)
+        unfinished.end_time = None
+        static = [
+            unfinished,
+            finished_job(2, submit=1.0 * day, start=1.0 * day + 60, runtime=100.0),
+            finished_job(3, submit=2.0 * day, start=2.0 * day + 60, runtime=100.0),
+        ]
+        sd = [
+            finished_job(1, submit=0.0, start=10.0, runtime=100.0),
+            finished_job(2, submit=1.0 * day, start=1.0 * day + 30, runtime=100.0),
+            finished_job(3, submit=2.0 * day, start=2.0 * day + 30, runtime=100.0),
+        ]
+        rows = daily_series_table(static, sd)
+        by_day = {r["day"]: r for r in rows}
+        # Day 0 exists only in the SD run; the static series starts on day 1
+        # of the *shared* axis instead of being pulled back to its own day 0.
+        assert set(by_day) == {0, 1, 2}
+        assert math.isnan(by_day[0]["static_slowdown"])
+        assert math.isfinite(by_day[0]["sd_slowdown"])
+        assert math.isfinite(by_day[1]["static_slowdown"])
+
+    def test_series_table_explicit_origin(self):
+        rows = daily_series_table(self._jobs(), self._jobs(), origin=-86400.0)
+        assert [r["day"] for r in rows] == [1, 2]
+
 
 class TestEnergy:
     def test_power_model_bounds(self):

@@ -19,9 +19,12 @@ from pathlib import Path
 import pytest
 
 from repro.experiments.paper import figure_1_to_3_maxsd_sweep, table_1_workloads
+from repro.experiments.scenario import load_spec, render_report, run_scenario
+from repro.experiments.sweep import SweepRunner
 from repro.workloads.presets import build_workload
 
 OUTPUT_DIR = Path(__file__).parent.parent / "benchmarks" / "output"
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
 
 #: Benchmark scales the committed artifacts were generated at — keep in sync
 #: with ``benchmarks/conftest.BENCH_SCALES`` (raw values, deliberately not
@@ -140,3 +143,36 @@ class TestFig13Golden:
                 abs_tol=2e-3,  # chart prints 3 decimals
                 what=f"fig1-3 {metric} {label}",
             )
+
+
+class TestScenarioGolden:
+    """The example scenario specs regenerate the committed Figure 4-6 and
+    Figure 7 artifacts *byte for byte* through the declarative scenario
+    layer (2 workers, shared on-disk cache).
+
+    Both figures are built from the same static/SD run pair, so the second
+    scenario must be served entirely from the cache the first one wrote —
+    pinning the cross-scenario cache sharing as well as the rendered text.
+    """
+
+    @pytest.fixture(scope="class")
+    def outcomes(self, tmp_path_factory):
+        cache = tmp_path_factory.mktemp("scenario_golden_cache")
+        runner = SweepRunner(max_workers=2, cache_dir=cache)
+        fig46 = run_scenario(load_spec(EXAMPLES_DIR / "figure4-6_scenario.json"),
+                             runner=runner)
+        fig7 = run_scenario(load_spec(EXAMPLES_DIR / "figure7_scenario.json"),
+                            runner=runner)
+        return fig46, fig7
+
+    def test_fig4_to_6_matches_golden_byte_for_byte(self, outcomes):
+        golden = _require(OUTPUT_DIR / "fig4-6_heatmaps_workload4.txt")
+        assert render_report(outcomes[0]) + "\n" == golden
+
+    def test_fig7_matches_golden_byte_for_byte(self, outcomes):
+        golden = _require(OUTPUT_DIR / "fig7_daily_slowdown_workload4.txt")
+        assert render_report(outcomes[1]) + "\n" == golden
+
+    def test_fig7_fully_served_from_fig46_cache(self, outcomes):
+        assert outcomes[0].sweep_cache_hits == 0
+        assert outcomes[1].sweep_cache_hits == 2

@@ -1,0 +1,275 @@
+"""Tests for the declarative scenario subsystem (:mod:`repro.experiments.scenario`)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.experiments.scenario import (
+    BUILTIN_SCENARIOS,
+    ScenarioError,
+    ScenarioSpec,
+    WorkloadRef,
+    builtin_scenario,
+    decode_value,
+    encode_value,
+    load_spec,
+    render_report,
+    run_scenario,
+    save_spec,
+)
+from repro.experiments.sweep import SweepRunner
+from repro.workloads.cirne import CirneWorkloadModel
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return CirneWorkloadModel(
+        num_jobs=60, system_nodes=16, cpus_per_node=8, max_job_nodes=8,
+        target_load=1.0, median_runtime_s=1800.0, seed=7, name="scenario_test",
+    ).generate()
+
+
+def _spec(**overrides) -> ScenarioSpec:
+    fields = dict(
+        name="test",
+        workloads=[WorkloadRef(name="scenario_test")],
+        policy="sd_policy",
+        grid={"max_slowdown": [10.0, {"label": "MAXSD inf", "value": "inf"}]},
+        base={"runtime_model": "ideal", "sharing_factor": 0.5},
+        baseline={"policy": "static_backfill", "kwargs": {"runtime_model": "ideal"}},
+    )
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+class TestValueCoding:
+    def test_inf_round_trip(self):
+        assert encode_value(math.inf) == "inf"
+        assert encode_value(-math.inf) == "-inf"
+        assert decode_value("inf") == math.inf
+        assert decode_value("-inf") == -math.inf
+
+    def test_nested_structures(self):
+        original = {"a": [1.5, math.inf], "b": {"c": "dynamic"}}
+        encoded = encode_value(original)
+        json.dumps(encoded)  # must be strict-JSON safe
+        assert decode_value(encoded) == original
+
+    def test_plain_strings_survive(self):
+        assert decode_value("ideal") == "ideal"
+        assert decode_value("dynamic") == "dynamic"
+
+    def test_nan_rejected(self):
+        with pytest.raises(ScenarioError):
+            encode_value(math.nan)
+
+
+class TestSpecRoundTrip:
+    def test_dict_round_trip(self):
+        spec = _spec()
+        clone = ScenarioSpec.from_dict(spec.to_dict())
+        assert clone == spec
+
+    def test_json_round_trip_with_inf_and_labels(self, tmp_path):
+        spec = _spec()
+        path = tmp_path / "spec.json"
+        save_spec(spec, path)
+        clone = load_spec(path)
+        assert clone == spec
+        # The inf cell survived as a real float infinity.
+        points = clone.grid["max_slowdown"]
+        assert points[1].label == "MAXSD inf"
+        assert points[1].value == math.inf
+
+    def test_builtin_specs_round_trip(self):
+        for name in BUILTIN_SCENARIOS:
+            spec = builtin_scenario(name)
+            assert ScenarioSpec.from_json(spec.to_json()) == spec, name
+
+    def test_single_workload_key_accepted(self):
+        spec = ScenarioSpec.from_dict(
+            {"name": "x", "workload": {"preset": 3, "scale": 0.01}, "grid": {}}
+        )
+        assert [ref.preset for ref in spec.workloads] == [3]
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown scenario fields"):
+            ScenarioSpec.from_dict({"name": "x", "workload": {"preset": 1}, "loops": 3})
+        with pytest.raises(ScenarioError, match="unknown workload ref fields"):
+            ScenarioSpec.from_dict({"name": "x", "workload": {"id": 1}})
+
+    def test_unknown_report_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown report"):
+            _spec(report="piechart")
+
+    def test_scalar_grid_value_rejected(self):
+        """Regression: a scalar string must not explode into per-char cells."""
+        with pytest.raises(ScenarioError, match="list of values"):
+            ScenarioSpec.from_dict(
+                {"name": "x", "workload": {"preset": 3}, "grid": {"max_slowdown": "inf"}}
+            )
+        with pytest.raises(ScenarioError, match="list of values"):
+            _spec(grid={"max_slowdown": 10.0})
+
+    def test_unknown_builtin_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown built-in"):
+            builtin_scenario("figure99")
+
+
+class TestExpansion:
+    def test_grid_order_and_labels(self):
+        cells = _spec().cells()
+        assert [label for label, _, _ in cells] == ["max_slowdown=10", "MAXSD inf"]
+        for _, policy, params in cells:
+            assert policy == "sd_policy"
+            assert params["runtime_model"] == "ideal"
+        assert cells[1][2]["max_slowdown"] == math.inf
+
+    def test_cartesian_product_is_ordered(self):
+        spec = _spec(grid={"max_slowdown": [5.0, 10.0], "sharing_factor": [0.25, 0.5]})
+        labels = [label for label, _, _ in spec.cells()]
+        assert labels == [
+            "max_slowdown=5, sharing_factor=0.25",
+            "max_slowdown=5, sharing_factor=0.5",
+            "max_slowdown=10, sharing_factor=0.25",
+            "max_slowdown=10, sharing_factor=0.5",
+        ]
+
+    def test_policy_grid_parameter_overrides_policy(self):
+        spec = _spec(
+            grid={"policy": [
+                {"label": "fcfs", "value": "fcfs"},
+                {"label": "backfill", "value": "static_backfill"},
+            ]},
+            base={},
+            baseline=None,
+        )
+        assert [(label, policy) for label, policy, _ in spec.cells()] == [
+            ("fcfs", "fcfs"), ("backfill", "static_backfill"),
+        ]
+
+    def test_empty_grid_single_cell(self):
+        spec = _spec(grid={})
+        cells = spec.cells()
+        assert len(cells) == 1
+        assert cells[0][0] == "sd_policy"
+
+    def test_workload_only_scenario_has_no_cells(self):
+        spec = _spec(policy=None, grid={}, baseline=None, report="mix")
+        assert spec.cells() == []
+
+    def test_duplicate_grid_labels_rejected(self):
+        with pytest.raises(ScenarioError, match="duplicate labels"):
+            _spec(grid={"max_slowdown": [10.0, 10.0]})
+
+    def test_tasks_have_unique_keys_and_seed(self, workload):
+        spec = _spec(seed=3)
+        tasks = spec.tasks({"scenario_test": workload})
+        keys = [t.resolved_key() for t in tasks]
+        assert len(set(keys)) == len(keys)
+        assert all(t.resolved_seed() == 3 for t in tasks)
+        assert keys[0].endswith("::baseline")
+
+
+class TestExecution:
+    def test_run_scenario_normalises_to_baseline(self, workload):
+        outcome = run_scenario(_spec(), workloads=workload)
+        assert outcome.baseline_run is not None
+        assert len(outcome.cells) == 2
+        for cell in outcome.cells:
+            assert set(cell.normalized) == {"makespan", "avg_response_time", "avg_slowdown"}
+            expected = (
+                cell.run.metrics.avg_slowdown
+                / outcome.baseline_run.metrics.avg_slowdown
+            )
+            assert cell.normalized["avg_slowdown"] == pytest.approx(expected)
+
+    def test_runner_cache_is_hit_on_rerun(self, workload, tmp_path):
+        runner = SweepRunner(max_workers=1, cache_dir=tmp_path)
+        first = run_scenario(_spec(), runner=runner, workloads=workload)
+        assert first.sweep_cache_hits == 0
+        second = run_scenario(_spec(), runner=runner, workloads=workload)
+        assert second.sweep_cache_hits == 3  # baseline + 2 cells
+        for a, b in zip(first.cells, second.cells):
+            assert a.run.metrics.as_dict() == b.run.metrics.as_dict()
+
+    def test_serial_parallel_equivalence(self, workload):
+        serial = run_scenario(_spec(), runner=SweepRunner(max_workers=1), workloads=workload)
+        parallel = run_scenario(_spec(), runner=SweepRunner(max_workers=2), workloads=workload)
+        for a, b in zip(serial.cells, parallel.cells):
+            assert a.run.metrics.as_dict() == b.run.metrics.as_dict()
+
+    def test_abstract_ref_requires_override(self):
+        with pytest.raises(ScenarioError, match="abstract"):
+            run_scenario(_spec())
+
+    def test_single_override_needs_single_workload(self, workload):
+        spec = _spec(workloads=[WorkloadRef(name="a"), WorkloadRef(name="b")])
+        with pytest.raises(ScenarioError, match="single-workload"):
+            run_scenario(spec, workloads=workload)
+
+    def test_multi_workload_baselines_are_per_workload(self, workload):
+        other = CirneWorkloadModel(
+            num_jobs=40, system_nodes=16, cpus_per_node=8, max_job_nodes=8,
+            target_load=1.0, seed=11, name="scenario_other",
+        ).generate()
+        spec = _spec(
+            workloads=[WorkloadRef(name="scenario_test"), WorkloadRef(name="scenario_other")],
+            grid={"max_slowdown": [10.0]},
+        )
+        outcome = run_scenario(
+            spec, workloads={"scenario_test": workload, "scenario_other": other}
+        )
+        assert set(outcome.baselines) == {"scenario_test", "scenario_other"}
+        assert len(outcome.cells_for("scenario_test")) == 1
+        assert len(outcome.cells_for("scenario_other")) == 1
+        # Each cell normalises against its own workload's baseline.
+        for wkey in outcome.baselines:
+            cell = outcome.cells_for(wkey)[0]
+            expected = cell.run.metrics.avg_slowdown / outcome.baselines[wkey].metrics.avg_slowdown
+            assert cell.normalized["avg_slowdown"] == pytest.approx(expected)
+
+    def test_report_table_renders(self, workload):
+        outcome = run_scenario(_spec(), workloads=workload)
+        text = render_report(outcome)
+        assert "Scenario test" in text
+        assert "MAXSD inf" in text
+        assert "Normalised to static_backfill" in text
+
+    def test_workload_only_scenario_runs_nothing(self):
+        spec = ScenarioSpec(
+            name="mixonly",
+            workloads=[WorkloadRef(preset=5, scale=0.05)],
+            policy=None,
+            grid={},
+            baseline=None,
+            report="mix",
+        )
+        outcome = run_scenario(spec)
+        assert outcome.sweep is None
+        assert outcome.cells == []
+        assert "Table 2" in render_report(outcome)
+
+
+class TestWorkloadRef:
+    def test_preset_build(self):
+        ref = WorkloadRef(preset=3, scale=0.01)
+        workload = ref.build()
+        assert len(workload) == 100
+        assert ref.key() == "workload3"
+
+    def test_swf_build(self, tmp_path, tiny_workload):
+        from repro.workloads.swf import write_swf
+
+        path = tmp_path / "log.swf"
+        write_swf(tiny_workload, path)
+        ref = WorkloadRef(swf=str(path))
+        assert ref.key() == "log"
+        assert len(ref.build()) == len(tiny_workload)
+
+    def test_preset_and_swf_mutually_exclusive(self):
+        with pytest.raises(ScenarioError, match="mutually exclusive"):
+            WorkloadRef(preset=1, swf="x.swf").build()

@@ -13,7 +13,6 @@ from repro.experiments.sweep import (
     SweepRunner,
     SweepTask,
     fingerprint_workload,
-    maxsd_sweep_tasks,
     task_cache_key,
 )
 from repro.workloads.cirne import CirneWorkloadModel
@@ -29,7 +28,19 @@ def workload():
 
 @pytest.fixture(scope="module")
 def tasks(workload):
-    return maxsd_sweep_tasks(workload, {"MAXSD 10": 10.0, "MAXSD inf": math.inf})
+    """A static baseline plus two SD-Policy MAX_SLOWDOWN points."""
+    maxsd_tasks = [
+        SweepTask(
+            workload=workload, policy="sd_policy", key=label, label=label, seed=0,
+            kwargs={"runtime_model": "ideal", "max_slowdown": setting,
+                    "sharing_factor": 0.5},
+        )
+        for label, setting in {"MAXSD 10": 10.0, "MAXSD inf": math.inf}.items()
+    ]
+    return [
+        SweepTask(workload=workload, policy="static_backfill", key="static_backfill",
+                  seed=0, kwargs={"runtime_model": "ideal"})
+    ] + maxsd_tasks
 
 
 class TestSerialParallelEquivalence:

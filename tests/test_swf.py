@@ -5,6 +5,8 @@ from __future__ import annotations
 import io
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.workloads.job_record import JobRecord, Workload
 from repro.workloads.swf import SWFFormatError, read_swf, write_swf
@@ -95,3 +97,102 @@ class TestWriteSWF:
         buffer.seek(0)
         back = read_swf(buffer, cpus_per_node=tiny_workload.cpus_per_node)
         assert len(back) == len(tiny_workload)
+
+    def test_extra_fields_written_out(self):
+        """Fields 5/6/9 come from extra, not hard-coded -1 (regression)."""
+        record = JobRecord(
+            job_id=1, submit_time=0.0, run_time=100.0, requested_time=200.0,
+            requested_procs=8,
+            extra={"avg_cpu_time": 42.5, "used_memory": 1024.0, "requested_memory": 2048.0},
+        )
+        buffer = io.StringIO()
+        write_swf(Workload("x", [record], system_nodes=8, cpus_per_node=8), buffer)
+        line = [l for l in buffer.getvalue().splitlines() if not l.startswith(";")][0]
+        fields = line.split()
+        assert fields[5] == "42.5"
+        assert fields[6] == "1024"
+        assert fields[9] == "2048"
+
+
+# ----------------------------------------------------------------------- #
+# Property test: read ↔ write ↔ read round trips over randomized workloads
+# ----------------------------------------------------------------------- #
+_times = st.floats(min_value=0.0, max_value=1e7, allow_nan=False,
+                   allow_infinity=False, width=32)
+_positive_times = st.floats(min_value=0.5, max_value=1e7, allow_nan=False,
+                            allow_infinity=False, width=32)
+_memory = st.one_of(st.just(-1.0), st.floats(min_value=0.0, max_value=1e6,
+                                             allow_nan=False, width=32))
+
+
+@st.composite
+def _job_records(draw, job_id):
+    run_time = draw(_positive_times)
+    return JobRecord(
+        job_id=job_id,
+        submit_time=draw(_times),
+        run_time=run_time,
+        requested_time=draw(_positive_times),
+        requested_procs=draw(st.integers(min_value=1, max_value=256)),
+        user_id=draw(st.integers(min_value=0, max_value=500)),
+        group_id=draw(st.integers(min_value=0, max_value=50)),
+        executable=draw(st.integers(min_value=0, max_value=99)),
+        status=draw(st.integers(min_value=0, max_value=5)),
+        wait_time=draw(st.one_of(st.just(-1.0), _times)),
+        used_procs=draw(st.integers(min_value=-1, max_value=256)),
+        extra={
+            "avg_cpu_time": draw(st.one_of(st.just(-1.0), _positive_times)),
+            "used_memory": draw(_memory),
+            "requested_memory": draw(_memory),
+            "queue": float(draw(st.integers(min_value=-1, max_value=9))),
+            "partition": float(draw(st.integers(min_value=-1, max_value=9))),
+            "preceding_job": float(draw(st.integers(min_value=-1, max_value=100))),
+            "think_time": float(draw(st.integers(min_value=-1, max_value=3600))),
+        },
+    )
+
+
+@st.composite
+def _workloads(draw):
+    count = draw(st.integers(min_value=1, max_value=12))
+    records = [draw(_job_records(job_id=i + 1)) for i in range(count)]
+    return Workload(
+        name="prop",
+        records=records,
+        system_nodes=draw(st.integers(min_value=1, max_value=128)),
+        cpus_per_node=draw(st.sampled_from([8, 16, 48])),
+    )
+
+
+class TestRoundTripProperty:
+    @given(workload=_workloads())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_read_write_read_round_trip(self, workload):
+        """write → read preserves every first-class field and the extras,
+        and a second write → read cycle is a fixed point."""
+        first = io.StringIO()
+        write_swf(workload, first)
+        first.seek(0)
+        once = read_swf(first, cpus_per_node=workload.cpus_per_node)
+        assert len(once) == len(workload)
+        assert once.system_nodes == workload.system_nodes
+        for orig, parsed in zip(workload.records, once.records):
+            assert parsed.job_id == orig.job_id
+            assert parsed.submit_time == orig.submit_time
+            assert parsed.run_time == orig.run_time
+            assert parsed.requested_time == orig.requested_time
+            assert parsed.requested_procs == orig.requested_procs
+            assert parsed.user_id == orig.user_id
+            assert parsed.group_id == orig.group_id
+            assert parsed.executable == orig.executable
+            # The satellite fix: the archive's optional fields round-trip
+            # instead of collapsing to -1.
+            for key in ("avg_cpu_time", "used_memory", "requested_memory",
+                        "queue", "partition", "preceding_job", "think_time"):
+                assert parsed.extra[key] == orig.extra[key], key
+        second = io.StringIO()
+        write_swf(once, second)
+        second.seek(0)
+        twice = read_swf(second, cpus_per_node=workload.cpus_per_node)
+        assert [r.__dict__ for r in twice.records] == [r.__dict__ for r in once.records]
