@@ -8,6 +8,9 @@ shell (installed as ``repro-sdpolicy`` or via ``python -m repro``):
   the normalised comparison;
 * ``sweep`` — run the MAX_SLOWDOWN sweep (Figures 1-3) through the parallel
   sweep runner, with ``--workers`` and an optional on-disk result cache;
+  ``--shard I/N`` executes one deterministic slice (resumable via a shard
+  manifest next to the cache) and ``sweep merge`` assembles the full,
+  bit-identical result once every shard has run;
 * ``scenario`` — run a declarative scenario spec (a JSON file, or a named
   built-in such as ``figure4-6``) through the sweep runner;
 * ``table1`` / ``table2`` — regenerate the paper's tables;
@@ -21,6 +24,8 @@ Example::
     repro-sdpolicy figure 3 --workload 3 --scale 0.05
     repro-sdpolicy compare --workload 1 --scale 0.05 --maxsd 10
     repro-sdpolicy sweep --workload 1 --scale 0.04 --workers 4 --cache-dir auto
+    repro-sdpolicy sweep --workload 1 --scale 0.04 --cache-dir /shared --shard 1/2
+    repro-sdpolicy sweep merge --workload 1 --scale 0.04 --cache-dir /shared
     repro-sdpolicy scenario examples/figure7_scenario.json --workers 2
     repro-sdpolicy scenario --list
 """
@@ -50,9 +55,14 @@ from repro.experiments.scenario import (
     builtin_scenario,
     load_spec,
     render_report,
-    run_scenario,
 )
-from repro.experiments.sweep import SweepRunner
+from repro.experiments.sweep import (
+    ExecutorError,
+    MergeExecutor,
+    ShardedExecutor,
+    SweepRunner,
+)
+from repro.experiments.executors import parse_shard
 from repro.workloads.presets import build_workload
 from repro.workloads.swf import read_swf
 
@@ -94,28 +104,72 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
+def _parse_shard_arg(value: str):
+    try:
+        return parse_shard(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
 def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=_positive_int, default=None,
-        help="sweep worker processes (default: REPRO_SWEEP_WORKERS or the CPU count)",
+        help="sweep worker processes; an explicit value always beats "
+             "REPRO_SWEEP_WORKERS (default: the env var or the CPU count)",
     )
     parser.add_argument(
         "--cache-dir", type=str, default=None,
         help="on-disk sweep result cache; 'auto' selects ~/.cache/repro/sweeps "
              "(default: caching disabled)",
     )
+    parser.add_argument(
+        "--shard", type=_parse_shard_arg, default=None, metavar="I/N",
+        help="run only shard I of N (1-based) of the expanded sweep tasks and "
+             "record a resumable manifest; requires --cache-dir",
+    )
+    parser.add_argument(
+        "--manifest", type=str, default=None, metavar="DIR",
+        help="shard manifest directory (default: <cache-dir>/manifests)",
+    )
 
 
-def _make_runner(args: argparse.Namespace, progress: bool = False) -> SweepRunner:
+def _make_runner(
+    args: argparse.Namespace, progress: bool = False, merge: bool = False
+) -> SweepRunner:
     callback = None
     if progress:
         def callback(done, total, entry):  # noqa: ANN001 - argparse-local helper
             origin = "cache" if entry.from_cache else f"{entry.wall_clock_seconds:.1f}s"
             print(f"  [{done}/{total}] {entry.key} ({origin})", file=sys.stderr)
+    cache_dir = getattr(args, "cache_dir", None)
+    shard = getattr(args, "shard", None)
+    manifest = getattr(args, "manifest", None)
+    executor = None
+    if merge:
+        if shard is not None:
+            print("error: --shard cannot be combined with merge", file=sys.stderr)
+            raise SystemExit(2)
+        if not cache_dir:
+            print("error: merging a sharded sweep requires --cache-dir", file=sys.stderr)
+            raise SystemExit(2)
+        executor = MergeExecutor(manifest_dir=manifest)
+    elif shard is not None:
+        if not cache_dir:
+            print(
+                "error: --shard requires --cache-dir (the cache carries results "
+                "between shard invocations)",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        executor = ShardedExecutor(
+            shard[0], shard[1], manifest_dir=manifest,
+            max_workers=getattr(args, "workers", None),
+        )
     return SweepRunner(
         max_workers=getattr(args, "workers", None),
-        cache_dir=getattr(args, "cache_dir", None),
+        cache_dir=cache_dir,
         progress=callback,
+        executor=executor,
     )
 
 
@@ -158,7 +212,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     workload = _load_workload(args)
-    runner = _make_runner(args, progress=True)
+    merge = args.mode == "merge"
+    runner = _make_runner(args, progress=not merge, merge=merge)
     result = figure_1_to_3_maxsd_sweep(
         workload,
         sharing_factor=args.sharing_factor,
@@ -166,6 +221,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         runner=runner,
     )
     print(result.text)
+    if not result.complete:
+        return 0
     sweep_seconds = result.data.get("sweep_wall_clock_seconds")
     cache_hits = result.data.get("sweep_cache_hits", 0)
     workers = result.data.get("sweep_workers", 1)
@@ -182,7 +239,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
     if args.table == 1:
         print(table_1_workloads(scale=args.scale, runner=_make_runner(args)).text)
     else:
-        print(table_2_application_mix(scale=args.scale).text)
+        print(table_2_application_mix(scale=args.scale, runner=_make_runner(args)).text)
     return 0
 
 
@@ -265,11 +322,23 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         print(f"error: invalid scenario spec {args.spec!r}: {exc}", file=sys.stderr)
         return 2
     try:
-        outcome = run_scenario(spec, runner=_make_runner(args, progress=True))
-        report = render_report(outcome)
+        outcome = spec.execute(runner=_make_runner(args, progress=True))
+        report = render_report(outcome) if outcome.complete else None
     except ScenarioError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if report is None:
+        sweep = outcome.sweep
+        print(
+            f"scenario {spec.name}: shard run finished — {len(sweep)}/"
+            f"{sweep.total_tasks} sweep tasks complete."
+        )
+        print(
+            "run the remaining shards with the same --cache-dir, then re-run "
+            "without --shard to render the report",
+            file=sys.stderr,
+        )
+        return 0
     print(report)
     if outcome.sweep is not None:
         print(
@@ -315,6 +384,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser(
         "sweep", help="run the MAX_SLOWDOWN sweep (figures 1-3) in parallel"
+    )
+    p_sweep.add_argument(
+        "mode", nargs="?", choices=["run", "merge"], default="run",
+        help="'run' executes the sweep (optionally one --shard of it); "
+             "'merge' validates the shard manifests and renders the full "
+             "result from the cache",
     )
     _add_workload_args(p_sweep)
     _add_sweep_args(p_sweep)
@@ -369,7 +444,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``repro-sdpolicy`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ExecutorError as exc:
+        # Sharded-execution state problems (missing cache dir, incomplete or
+        # inconsistent shard manifests) are user-fixable: no traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

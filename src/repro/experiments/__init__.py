@@ -21,6 +21,15 @@ from repro.experiments.paper import (
     table_1_workloads,
     table_2_application_mix,
 )
+from repro.experiments.executors import (
+    Executor,
+    ExecutorError,
+    MergeExecutor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    ShardedExecutor,
+    parse_shard,
+)
 from repro.experiments.runner import PolicyRun, cluster_for, run_workload
 from repro.experiments.scenario import (
     BUILTIN_SCENARIOS,
@@ -47,8 +56,15 @@ from repro.experiments.sweep import (
 
 __all__ = [
     "BUILTIN_SCENARIOS",
+    "Executor",
+    "ExecutorError",
     "FigureResult",
+    "MergeExecutor",
     "PolicyRun",
+    "ProcessPoolExecutor",
+    "SerialExecutor",
+    "ShardedExecutor",
+    "parse_shard",
     "ScenarioCell",
     "ScenarioError",
     "ScenarioOutcome",

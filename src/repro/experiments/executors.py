@@ -1,0 +1,519 @@
+"""Pluggable execution backends for the sweep runner.
+
+:class:`repro.experiments.sweep.SweepRunner` decides *what* to run (cache
+probing, task ordering, result assembly); the executors here decide *how*
+the cache misses are executed:
+
+* :class:`SerialExecutor` — everything in-process, one task at a time;
+* :class:`ProcessPoolExecutor` — a multiprocessing fan-out (the former
+  ``SweepRunner._run_parallel`` path);
+* :class:`ShardedExecutor` — executes only a deterministic ``1/N`` slice of
+  the task list and records progress in a resumable JSON *shard manifest*
+  next to the cache directory, so one sweep can be split across machines
+  (or cron ticks) and resumed after a kill;
+* :class:`MergeExecutor` — executes nothing: it validates that every shard
+  manifest of the sweep is complete and lets the runner assemble the full
+  result from the shared cache, bit-identical to a single-process run.
+
+Sharded execution relies on the on-disk result cache as the transport
+between invocations: every completed task is published atomically to the
+cache, the manifest records its key, cache path and status, and a resumed
+or merging invocation turns completed tasks into cache hits.  The manifest
+is advisory for resume (the cache probe is what skips finished work) and
+authoritative for merge (a merge refuses to run until all shards report
+``done``).
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+import json
+import multiprocessing
+import os
+import re
+import sys
+import tempfile
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures import ProcessPoolExecutor as _FuturesProcessPool
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
+    from repro.experiments.runner import PolicyRun
+    from repro.experiments.sweep import SweepTask
+
+#: Bump when the shard manifest layout changes; old manifests are rejected.
+MANIFEST_FORMAT_VERSION = 1
+
+#: Subdirectory of the cache directory holding shard manifests by default.
+MANIFEST_DIR_NAME = "manifests"
+
+
+class SweepError(RuntimeError):
+    """A sweep task failed in a worker.
+
+    The worker's original traceback is preserved in :attr:`worker_traceback`
+    and included in the exception message, so failures in a process pool are
+    as debuggable as failures in the parent.
+    """
+
+    def __init__(self, key: str, message: str, worker_traceback: str = "") -> None:
+        self.key = key
+        self.worker_traceback = worker_traceback
+        detail = f"sweep task {key!r} failed: {message}"
+        if worker_traceback:
+            detail += f"\n--- worker traceback ---\n{worker_traceback}"
+        super().__init__(detail)
+
+
+class ExecutorError(RuntimeError):
+    """Sharded execution state is unusable (missing cache, bad manifest…)."""
+
+
+def resolve_worker_count(max_workers: Optional[int]) -> int:
+    """Resolve an explicit/None worker count to a concrete value.
+
+    An explicit value always wins; ``None`` reads ``REPRO_SWEEP_WORKERS``
+    and falls back to the CPU count on Linux (fork) or ``1`` on spawn
+    platforms, where a process pool inside a library call would re-import
+    unguarded caller scripts.
+    """
+    if max_workers is None:
+        env = os.environ.get("REPRO_SWEEP_WORKERS")
+        if env:
+            max_workers = int(env)
+        elif sys.platform == "linux":
+            max_workers = os.cpu_count() or 1
+        else:
+            max_workers = 1
+    if max_workers < 1:
+        raise ValueError("max_workers must be >= 1")
+    return int(max_workers)
+
+
+# --------------------------------------------------------------------- #
+# Worker entry points (module level: must be picklable)
+# --------------------------------------------------------------------- #
+def _execute_task(task: "SweepTask") -> "PolicyRun":
+    from repro.experiments.runner import run_workload
+
+    return run_workload(
+        task.workload,
+        task.policy,
+        label=task.label,
+        seed=task.resolved_seed(),
+        **task.kwargs,
+    )
+
+
+def _worker(indexed_task: Tuple[int, "SweepTask"]) -> Tuple[int, str, Any]:
+    index, task = indexed_task
+    t0 = time.perf_counter()
+    try:
+        run = _execute_task(task)
+        return index, "ok", (run, time.perf_counter() - t0)
+    except Exception as exc:  # noqa: BLE001 - must cross the process boundary
+        return index, "error", (f"{type(exc).__name__}: {exc}", traceback.format_exc())
+
+
+# --------------------------------------------------------------------- #
+# The execution plan handed from the runner to an executor
+# --------------------------------------------------------------------- #
+@dataclass
+class ExecutionPlan:
+    """Everything an executor needs to run one sweep's cache misses.
+
+    ``tasks``/``keys``/``cache_paths`` cover the *full* sweep in task order;
+    ``pending`` are the indices whose results were not served from the
+    cache and ``corrupt`` the subset of those whose cache entry existed but
+    was quarantined as unreadable.  Executors call ``complete(index, run,
+    elapsed)`` for every task they finish — the runner stores the cache
+    entry, records the result and fires the progress callback.
+    ``max_workers`` is the runner's resolved worker budget, which executors
+    that spawn their own inner backend must respect unless explicitly
+    configured otherwise.
+    """
+
+    tasks: Sequence["SweepTask"]
+    keys: Sequence[str]
+    cache_paths: Sequence[Optional[Path]]
+    pending: List[int]
+    complete: Callable[[int, "PolicyRun", float], None]
+    max_workers: int = 1
+    corrupt: Sequence[int] = ()
+
+
+class Executor(abc.ABC):
+    """Execution backend protocol for :class:`SweepRunner`.
+
+    ``partial`` declares whether the executor may legitimately leave plan
+    tasks unfinished (a shard does; everything else must finish the plan).
+    """
+
+    partial: bool = False
+
+    @abc.abstractmethod
+    def execute(self, plan: ExecutionPlan) -> None:
+        """Run (a subset of) ``plan.pending`` and report completions."""
+
+
+# --------------------------------------------------------------------- #
+# Serial and process-pool backends (extracted from SweepRunner)
+# --------------------------------------------------------------------- #
+class SerialExecutor(Executor):
+    """Run every pending task in-process, in plan order."""
+
+    def execute(self, plan: ExecutionPlan) -> None:
+        for index in plan.pending:
+            t0 = time.perf_counter()
+            try:
+                run = _execute_task(plan.tasks[index])
+            except Exception as exc:
+                raise SweepError(
+                    plan.keys[index],
+                    f"{type(exc).__name__}: {exc}",
+                    traceback.format_exc(),
+                ) from exc
+            plan.complete(index, run, time.perf_counter() - t0)
+
+
+class ProcessPoolExecutor(Executor):
+    """Fan pending tasks out over a multiprocessing pool.
+
+    Fork shares the already-built workload objects cheaply, but is only
+    safe on Linux (macOS frameworks may abort in forked children); the
+    platform default start method is used everywhere else.
+    """
+
+    def __init__(self, max_workers: int) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+
+    def execute(self, plan: ExecutionPlan) -> None:
+        if not plan.pending:
+            return
+        workers = min(self.max_workers, len(plan.pending))
+        if sys.platform == "linux":
+            context = multiprocessing.get_context("fork")
+        else:
+            context = multiprocessing.get_context()
+        with _FuturesProcessPool(max_workers=workers, mp_context=context) as pool:
+            try:
+                futures = {
+                    pool.submit(_worker, (index, plan.tasks[index])): index
+                    for index in plan.pending
+                }
+                pending = set(futures)
+                while pending:
+                    # _worker never raises, so wait for completions one batch
+                    # at a time: progress streams and failures cancel the
+                    # remainder as soon as they are observed.
+                    finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        index = futures[future]
+                        exc = future.exception()
+                        if exc is not None:
+                            # Pool infrastructure failure (a killed worker…).
+                            raise SweepError(
+                                plan.keys[index], f"{type(exc).__name__}: {exc}"
+                            )
+                        got_index, status, payload = future.result()
+                        if status == "error":
+                            message, worker_tb = payload
+                            raise SweepError(plan.keys[got_index], message, worker_tb)
+                        run, elapsed = payload
+                        plan.complete(got_index, run, elapsed)
+            except BaseException:
+                # Task failure or interrupt: drop everything still queued so
+                # the pool winds down promptly and no orphaned work keeps
+                # writing cache entries behind our back.
+                pool.shutdown(wait=True, cancel_futures=True)
+                raise
+
+
+def default_executor(max_workers: int, pending_count: int) -> Executor:
+    """The executor :class:`SweepRunner` uses absent an explicit override."""
+    workers = min(max_workers, max(1, pending_count))
+    if workers == 1:
+        return SerialExecutor()
+    return ProcessPoolExecutor(workers)
+
+
+# --------------------------------------------------------------------- #
+# Shard manifests
+# --------------------------------------------------------------------- #
+def parse_shard(value: str) -> Tuple[int, int]:
+    """Parse a human ``I/N`` shard selector into ``(index, count)``.
+
+    ``I`` is 1-based on the command line (``--shard 1/4`` … ``--shard
+    4/4``); the returned index is 0-based.
+    """
+    match = re.fullmatch(r"(\d+)/(\d+)", value.strip())
+    if not match:
+        raise ValueError(f"shard must look like I/N (e.g. 1/4), got {value!r}")
+    index, count = int(match.group(1)), int(match.group(2))
+    if count < 1 or not 1 <= index <= count:
+        raise ValueError(f"shard index must be within 1..{count}, got {value!r}")
+    return index - 1, count
+
+
+def sweep_id(cache_paths: Sequence[Optional[Path]]) -> str:
+    """Stable identifier of one sweep: a hash over its ordered cache keys.
+
+    Cache-file stems *are* the task cache keys (workload content + full run
+    configuration), so two invocations that expand the same task list agree
+    on the id without sharing any state but the cache directory.
+    """
+    h = hashlib.sha256()
+    for path in cache_paths:
+        if path is None:
+            raise ExecutorError("sweep_id needs cache paths (enable a cache dir)")
+        h.update(path.stem.encode("utf-8"))
+        h.update(b"|")
+    return h.hexdigest()[:16]
+
+
+def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def manifest_path(
+    manifest_dir: Path, sweep: str, shard_index: int, shard_count: int
+) -> Path:
+    """Canonical manifest location for one shard of one sweep."""
+    return manifest_dir / f"{sweep}.shard-{shard_index + 1}-of-{shard_count}.json"
+
+
+def _require_cache(plan: ExecutionPlan, what: str) -> Path:
+    paths = [p for p in plan.cache_paths if p is not None]
+    if len(paths) != len(plan.cache_paths) or not paths:
+        raise ExecutorError(
+            f"{what} requires the on-disk result cache (pass cache_dir/--cache-dir): "
+            "the cache is the transport between shard invocations"
+        )
+    return paths[0].parent
+
+
+class ShardedExecutor(Executor):
+    """Execute one deterministic ``1/N`` slice of a sweep, resumably.
+
+    Tasks are partitioned round-robin by task index (task ``i`` belongs to
+    shard ``i % N``), so every invocation — any machine, any time — agrees
+    on the split without coordination.  Completed tasks publish to the
+    shared cache; the shard's manifest (JSON next to the cache dir) records
+    each owned task's key, cache path and status after every completion, so
+    a killed shard can simply be re-invoked: finished tasks come back as
+    cache hits and only unfinished ones re-run.
+
+    The actual execution of the owned slice is delegated to a
+    :class:`SerialExecutor` or :class:`ProcessPoolExecutor` picked from
+    ``max_workers`` exactly like an unsharded run.
+    """
+
+    partial = True
+
+    def __init__(
+        self,
+        shard_index: int,
+        shard_count: int,
+        manifest_dir: Optional[Path] = None,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        if not 0 <= shard_index < shard_count:
+            raise ValueError(
+                f"shard_index must be within 0..{shard_count - 1}, got {shard_index}"
+            )
+        self.shard_index = shard_index
+        self.shard_count = shard_count
+        self.manifest_dir = Path(manifest_dir) if manifest_dir is not None else None
+        self.max_workers = max_workers
+
+    def owns(self, index: int) -> bool:
+        return index % self.shard_count == self.shard_index
+
+    # ------------------------------------------------------------------ #
+    def execute(self, plan: ExecutionPlan) -> None:
+        if not plan.tasks:
+            return
+        cache_dir = _require_cache(plan, "sharded execution")
+        manifest_dir = self.manifest_dir or cache_dir / MANIFEST_DIR_NAME
+        sweep = sweep_id(plan.cache_paths)
+        path = manifest_path(manifest_dir, sweep, self.shard_index, self.shard_count)
+
+        owned = [i for i in range(len(plan.tasks)) if self.owns(i)]
+        pending = [i for i in plan.pending if self.owns(i)]
+        pending_set = set(pending)
+        records: Dict[int, Dict[str, Any]] = {}
+        for i in owned:
+            records[i] = {
+                "index": i,
+                "key": plan.keys[i],
+                "cache_key": plan.cache_paths[i].stem,
+                "cache_path": str(plan.cache_paths[i]),
+                "status": "pending" if i in pending_set else "done",
+                "from_cache": i not in pending_set,
+                "wall_clock_seconds": 0.0,
+            }
+
+        def write_manifest() -> None:
+            _atomic_write_json(
+                path,
+                {
+                    "format": MANIFEST_FORMAT_VERSION,
+                    "sweep_id": sweep,
+                    "shard_index": self.shard_index,
+                    "shard_count": self.shard_count,
+                    "total_tasks": len(plan.tasks),
+                    "tasks": [records[i] for i in owned],
+                },
+            )
+
+        write_manifest()
+
+        def complete(index: int, run: "PolicyRun", elapsed: float) -> None:
+            plan.complete(index, run, elapsed)
+            records[index].update(status="done", wall_clock_seconds=elapsed)
+            write_manifest()
+
+        # An explicit max_workers on the executor wins; otherwise inherit
+        # the runner's resolved budget (a caller that asked for serial
+        # execution must not get a forked pool behind its back).
+        budget = (
+            plan.max_workers
+            if self.max_workers is None
+            else resolve_worker_count(self.max_workers)
+        )
+        inner = default_executor(budget, len(pending))
+        try:
+            inner.execute(replace(plan, pending=pending, complete=complete))
+        except SweepError as err:
+            for record in records.values():
+                if record["key"] == err.key and record["status"] == "pending":
+                    record["status"] = "failed"
+            write_manifest()
+            raise
+
+
+class MergeExecutor(Executor):
+    """Assemble a sharded sweep: validate every shard manifest, run nothing.
+
+    A merge succeeds only when (a) the manifest directory holds one manifest
+    per shard of this sweep, (b) every manifest reports every owned task
+    ``done``, and (c) the cache already served every task (the runner found
+    no misses).  The runner then returns the full :class:`SweepResult`
+    straight from the cache — through the exact same assembly code as a
+    single-process run, so the merged result is bit-identical to it.
+    """
+
+    def __init__(self, manifest_dir: Optional[Path] = None) -> None:
+        self.manifest_dir = Path(manifest_dir) if manifest_dir is not None else None
+
+    # ------------------------------------------------------------------ #
+    def _load_manifests(
+        self, manifest_dir: Path, sweep: str
+    ) -> List[Dict[str, Any]]:
+        paths = sorted(manifest_dir.glob(f"{sweep}.shard-*.json"))
+        if not paths:
+            raise ExecutorError(
+                f"no shard manifests for sweep {sweep} under {manifest_dir}; "
+                "run the shards first (--shard I/N with the same task list "
+                "and cache dir)"
+            )
+        manifests = []
+        for path in paths:
+            try:
+                manifest = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError) as exc:
+                raise ExecutorError(f"unreadable shard manifest {path}: {exc}") from exc
+            if manifest.get("format") != MANIFEST_FORMAT_VERSION:
+                raise ExecutorError(
+                    f"shard manifest {path} has format "
+                    f"{manifest.get('format')!r}; expected {MANIFEST_FORMAT_VERSION}"
+                )
+            if manifest.get("sweep_id") != sweep:
+                raise ExecutorError(f"shard manifest {path} is for another sweep")
+            manifests.append(manifest)
+        return manifests
+
+    def execute(self, plan: ExecutionPlan) -> None:
+        if not plan.tasks:
+            return
+        cache_dir = _require_cache(plan, "merging a sharded sweep")
+        manifest_dir = self.manifest_dir or cache_dir / MANIFEST_DIR_NAME
+        sweep = sweep_id(plan.cache_paths)
+        manifests = self._load_manifests(manifest_dir, sweep)
+
+        counts = {m["shard_count"] for m in manifests}
+        if len(counts) != 1:
+            raise ExecutorError(
+                f"shard manifests disagree on the shard count: {sorted(counts)}"
+            )
+        count = counts.pop()
+        seen = {m["shard_index"] for m in manifests}
+        missing_shards = sorted(set(range(count)) - seen)
+        if missing_shards:
+            human = [f"{i + 1}/{count}" for i in missing_shards]
+            raise ExecutorError(f"shard(s) {', '.join(human)} have not run yet")
+
+        unfinished: List[str] = []
+        covered: set = set()
+        for manifest in manifests:
+            for record in manifest["tasks"]:
+                covered.add(record["key"])
+                if record["status"] != "done":
+                    unfinished.append(
+                        f"{record['key']} ({record['status']}, "
+                        f"shard {manifest['shard_index'] + 1}/{count})"
+                    )
+        if unfinished:
+            raise ExecutorError(
+                "cannot merge: unfinished shard tasks: " + "; ".join(sorted(unfinished))
+            )
+        uncovered = sorted(set(plan.keys) - covered)
+        if uncovered:
+            raise ExecutorError(
+                f"shard manifests do not cover task(s) {uncovered}; were the "
+                "shards run with a different task list?"
+            )
+        if plan.pending:
+            corrupt = sorted(set(plan.pending) & set(plan.corrupt))
+            if corrupt:
+                quarantined = [plan.keys[i] for i in corrupt]
+                raise ExecutorError(
+                    f"{len(corrupt)} cache entr"
+                    f"{'y was' if len(corrupt) == 1 else 'ies were'} corrupt and "
+                    f"quarantined (*.pkl.corrupt): {quarantined}; re-run the "
+                    "owning shard(s) to regenerate them, then merge again"
+                )
+            missing = [plan.keys[i] for i in plan.pending]
+            raise ExecutorError(
+                f"manifests report every shard done but the cache is missing "
+                f"{missing}; was the cache directory pruned or changed?"
+            )

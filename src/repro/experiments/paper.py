@@ -29,11 +29,10 @@ from repro.experiments.scenario import (
     realrun_improvements,
     render_report,
     report_figures_1_to_3,
-    run_scenario,
     scenario_daily_rows,
     scenario_heatmaps,
 )
-from repro.experiments.sweep import SweepRunner, SweepTask
+from repro.experiments.sweep import SweepResult, SweepRunner, SweepTask
 from repro.workloads.job_record import Workload
 from repro.workloads.presets import PAPER_WORKLOADS, build_workload
 
@@ -58,6 +57,31 @@ class FigureResult:
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.text or f"<{self.figure}>"
+
+    @property
+    def complete(self) -> bool:
+        """``False`` when a sharded invocation ran only its task slice."""
+        return bool(self.data.get("complete", True))
+
+
+def _shard_partial_result(figure: str, sweep: SweepResult) -> FigureResult:
+    """Progress stub returned when a sharded run leaves tasks unfinished.
+
+    The report cannot be rendered until every shard has run; re-running the
+    same command without ``--shard`` (same cache dir) — or ``sweep merge`` —
+    assembles the full result from the cache and renders it then.
+    """
+    done, total = len(sweep), sweep.total_tasks
+    return FigureResult(
+        figure=figure,
+        description="Partial sharded execution",
+        data={"complete": False, "tasks_done": done, "tasks_total": total},
+        text=(
+            f"[{figure}] shard run finished: {done}/{total} sweep tasks complete.\n"
+            "Run the remaining shards with the same cache dir, then re-run "
+            "without --shard (or use `sweep merge`) to render the report."
+        ),
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -85,6 +109,8 @@ def table_1_workloads(
             for wid, wl in workloads.items()
         ]
     )
+    if not sweep.complete:
+        return _shard_partial_result("table1", sweep)
     rows: List[List[object]] = []
     per_workload: Dict[int, Dict[str, float]] = {}
     for wid in workload_ids:
@@ -127,12 +153,19 @@ def table_1_workloads(
 # --------------------------------------------------------------------- #
 # Table 2
 # --------------------------------------------------------------------- #
-def table_2_application_mix(scale: float = 1.0, seed: int = 5005) -> FigureResult:
-    """Table 2: the application mix assigned to the real-run workload."""
+def table_2_application_mix(
+    scale: float = 1.0, seed: int = 5005, runner: Optional[SweepRunner] = None
+) -> FigureResult:
+    """Table 2: the application mix assigned to the real-run workload.
+
+    Table 2 is workload-only (no simulation), but the runner is threaded
+    through anyway so CLI flags such as ``--workers`` are honoured — and
+    never silently lose to ``REPRO_SWEEP_WORKERS`` — on every subcommand.
+    """
     from repro.workloads.applications import application_shares
 
     spec = builtin_scenario("table2", scale=scale, seed=seed)
-    outcome = run_scenario(spec)
+    outcome = spec.execute(runner=runner)
     workload = outcome.workload
     shares = application_shares(workload)
     return FigureResult(
@@ -186,7 +219,9 @@ def figure_1_to_3_maxsd_sweep(
         },
         report="figures1-3",
     )
-    outcome = run_scenario(spec, runner=runner, workloads=workload)
+    outcome = spec.execute(runner=runner, workloads=workload)
+    if not outcome.complete:
+        return _shard_partial_result("figure1-3", outcome.sweep)
     baseline = outcome.baseline_run
     runs: Dict[str, PolicyRun] = {"static_backfill": baseline}
     for cell in outcome.cells:
@@ -220,7 +255,7 @@ def _static_sd_scenario(
     """Run the shared static/SD pair behind Figures 4-6 and Figure 7."""
     spec = builtin_scenario(name, max_slowdown=max_slowdown, runtime_model=runtime_model)
     spec.workloads = [WorkloadRef(name=workload.name)]
-    return run_scenario(spec, runner=runner, workloads=workload)
+    return spec.execute(runner=runner, workloads=workload)
 
 
 def figure_4_to_6_heatmaps(
@@ -233,6 +268,8 @@ def figure_4_to_6_heatmaps(
     outcome = _static_sd_scenario(
         "figure4-6", workload, max_slowdown, runtime_model, runner
     )
+    if not outcome.complete:
+        return _shard_partial_result("figure4-6", outcome.sweep)
     static, sd = outcome.baseline_run, outcome.cells[0].run
     return FigureResult(
         figure="figure4-6",
@@ -259,6 +296,8 @@ def figure_7_daily_series(
     outcome = _static_sd_scenario(
         "figure7", workload, max_slowdown, runtime_model, runner
     )
+    if not outcome.complete:
+        return _shard_partial_result("figure7", outcome.sweep)
     static, sd = outcome.baseline_run, outcome.cells[0].run
     rows = scenario_daily_rows(outcome)
     total_jobs = max(1, len(sd.jobs))
@@ -298,7 +337,9 @@ def figure_8_runtime_models(
         "figure8", max_slowdown=max_slowdown, sharing_factor=sharing_factor
     )
     spec.workloads = [WorkloadRef(name=name) for name in workloads]
-    outcome = run_scenario(spec, runner=runner, workloads=workloads)
+    outcome = spec.execute(runner=runner, workloads=workloads)
+    if not outcome.complete:
+        return _shard_partial_result("figure8", outcome.sweep)
     per_workload: Dict[str, Dict[str, Dict[str, float]]] = {}
     for name in workloads:
         per_workload[name] = {
@@ -337,7 +378,9 @@ def figure_9_real_run(
         sharing_factor=sharing_factor,
         max_slowdown=max_slowdown,
     )
-    outcome = run_scenario(spec, runner=runner)
+    outcome = spec.execute(runner=runner)
+    if not outcome.complete:
+        return _shard_partial_result("figure9", outcome.sweep)
     stats = realrun_improvements(outcome)
     return FigureResult(
         figure="figure9",

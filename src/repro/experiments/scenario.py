@@ -430,6 +430,19 @@ class ScenarioSpec:
             description=str(data.get("description", "")),
         )
 
+    def execute(
+        self,
+        runner: Optional[SweepRunner] = None,
+        workloads: Optional[Union[Workload, Mapping[str, Workload]]] = None,
+    ) -> "ScenarioOutcome":
+        """Run this scenario through the sweep runner.
+
+        Convenience wrapper around :func:`run_scenario`; a runner carrying a
+        sharded executor runs only its slice of the expanded tasks and
+        returns a partial outcome (``outcome.complete`` is ``False``).
+        """
+        return run_scenario(self, runner=runner, workloads=workloads)
+
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
 
@@ -476,6 +489,11 @@ class ScenarioOutcome:
     #: improvements), so the figure data and its rendered report share one
     #: computation over the job lists.
     _cache: Dict[str, Any] = field(default_factory=dict, repr=False, compare=False)
+
+    @property
+    def complete(self) -> bool:
+        """``False`` when a sharded run left sweep tasks unfinished."""
+        return self.sweep is None or self.sweep.complete
 
     # -- single-workload conveniences ---------------------------------- #
     @property
@@ -570,6 +588,13 @@ def run_scenario(
     if tasks:
         runner = runner or SweepRunner()
         sweep = runner.run(tasks)
+    if sweep is not None and not sweep.complete:
+        # A sharded invocation: only this shard's slice ran, so cells and
+        # baselines cannot be assembled yet.  Callers check ``.complete``
+        # and render a shard progress summary instead of a report.
+        return ScenarioOutcome(
+            spec=spec, workloads=resolved, baselines={}, cells=[], sweep=sweep
+        )
     baselines: Dict[str, PolicyRun] = {}
     cells: List[ScenarioCell] = []
     for ref in spec.workloads:
@@ -839,6 +864,17 @@ MAXSD_GRID: List[Dict[str, Any]] = [
 _BENCH_SCALES = {1: 0.04, 2: 0.04, 3: 0.02, 4: 0.01, 5: 0.35}
 
 
+def _sim_seed(seed: Optional[int], default: int = 0) -> int:
+    """Simulation seed matching a builder's workload-generation seed.
+
+    Built-in builders forward one ``seed`` override to *both*
+    :attr:`WorkloadRef.seed` (workload generation) and
+    :attr:`ScenarioSpec.seed` (the simulation seed on every task), so the
+    two cannot drift apart — ``--seed 42`` means 42 everywhere.
+    """
+    return default if seed is None else int(seed)
+
+
 def _spec_figure_1_to_3(workload_id: int = 1, scale: Optional[float] = None,
                         seed: Optional[int] = None) -> ScenarioSpec:
     return ScenarioSpec(
@@ -848,6 +884,7 @@ def _spec_figure_1_to_3(workload_id: int = 1, scale: Optional[float] = None,
                                scale=_BENCH_SCALES[workload_id] if scale is None else scale,
                                seed=seed)],
         policy="sd_policy",
+        seed=_sim_seed(seed),
         grid={"max_slowdown": MAXSD_GRID},
         base={"runtime_model": "ideal", "malleable_fraction": 1.0, "sharing_factor": 0.5},
         baseline={"policy": "static_backfill",
@@ -867,6 +904,7 @@ def _spec_static_sd_pair(name: str, report: str, description: str,
         workloads=[WorkloadRef(preset=4, scale=_BENCH_SCALES[4] if scale is None else scale,
                                seed=seed)],
         policy="sd_policy",
+        seed=_sim_seed(seed),
         grid={"max_slowdown": [max_slowdown]},
         base={"runtime_model": runtime_model},
         baseline={"policy": "static_backfill", "kwargs": {"runtime_model": runtime_model}},
@@ -886,6 +924,7 @@ def _spec_figure_8(scale: Optional[float] = None, seed: Optional[int] = None,
             for wid in (1, 2, 3, 4)
         ],
         policy="sd_policy",
+        seed=_sim_seed(seed),
         grid={"runtime_model": [
             {"label": "ideal", "value": "ideal"},
             {"label": "worst_case", "value": "worst_case"},
@@ -904,6 +943,7 @@ def _spec_figure_9(scale: float = _BENCH_SCALES[5], seed: int = 5005,
         description="Figure 9: the emulated MareNostrum4 real run (workload 5)",
         workloads=[WorkloadRef(preset=5, scale=scale, seed=seed)],
         policy="sd_policy",
+        seed=_sim_seed(seed),
         grid={"max_slowdown": [max_slowdown]},
         base={
             "runtime_model": "application_aware",

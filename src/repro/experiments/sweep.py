@@ -3,13 +3,17 @@
 Every figure and table of the paper is a sweep — MAX_SLOWDOWN values ×
 workloads × runtime models — and each point is one independent
 :func:`repro.experiments.runner.run_workload` call.  :class:`SweepRunner`
-fans those calls out over a process pool with
+fans those calls out through a pluggable execution backend
+(:mod:`repro.experiments.executors`) with
 
 * a configurable worker count (``REPRO_SWEEP_WORKERS`` or the CPU count),
-* deterministic per-task seeds, so serial and parallel execution produce
-  bit-identical metrics,
+* deterministic per-task seeds, so serial, parallel and sharded execution
+  produce bit-identical metrics,
 * an optional on-disk result cache keyed by a content hash of the workload
   and the policy configuration, so re-running a sweep is free,
+* sharded execution (``executor=ShardedExecutor(i, n)``) that runs one
+  deterministic slice per invocation, records a resumable manifest and is
+  merged back into a full result by ``executor=MergeExecutor()``,
 * progress callbacks, and
 * worker failures that surface the *original* traceback in the parent.
 
@@ -24,15 +28,11 @@ from __future__ import annotations
 import hashlib
 import json
 import math
-import multiprocessing
 import os
 import pickle
 import tempfile
 import time
-import traceback
 import re
-import sys
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -48,28 +48,43 @@ from typing import (
     Union,
 )
 
-from repro.experiments.runner import PolicyRun, run_workload
+from repro.experiments.executors import (
+    ExecutionPlan,
+    Executor,
+    ExecutorError,
+    MergeExecutor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    ShardedExecutor,
+    SweepError,
+    default_executor,
+    resolve_worker_count,
+)
+from repro.experiments.runner import PolicyRun
 from repro.workloads.job_record import Workload
 
-#: Bump when the cached payload layout changes; old entries are then misses.
-CACHE_FORMAT_VERSION = 1
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "ExecutionPlan",
+    "Executor",
+    "ExecutorError",
+    "MergeExecutor",
+    "ProcessPoolExecutor",
+    "SerialExecutor",
+    "ShardedExecutor",
+    "SweepEntry",
+    "SweepError",
+    "SweepResult",
+    "SweepRunner",
+    "SweepTask",
+    "default_cache_dir",
+    "fingerprint_workload",
+    "task_cache_key",
+]
 
-
-class SweepError(RuntimeError):
-    """A sweep task failed in a worker.
-
-    The worker's original traceback is preserved in :attr:`worker_traceback`
-    and included in the exception message, so failures in a process pool are
-    as debuggable as failures in the parent.
-    """
-
-    def __init__(self, key: str, message: str, worker_traceback: str = "") -> None:
-        self.key = key
-        self.worker_traceback = worker_traceback
-        detail = f"sweep task {key!r} failed: {message}"
-        if worker_traceback:
-            detail += f"\n--- worker traceback ---\n{worker_traceback}"
-        super().__init__(detail)
+#: Bump when the cached payload layout *or the cache-key encoding* changes;
+#: old entries are then misses.  v2: non-finite kwarg floats canonicalised.
+CACHE_FORMAT_VERSION = 2
 
 
 @dataclass
@@ -112,11 +127,25 @@ class SweepEntry:
 
 @dataclass
 class SweepResult:
-    """All entries of one sweep, in task order."""
+    """All completed entries of one sweep, in task order.
+
+    ``complete`` is ``False`` for a sharded invocation that deliberately
+    executed only its own slice — ``entries`` then holds the tasks finished
+    so far (this shard's plus any served from the shared cache) and
+    ``total_tasks`` the size of the full sweep.
+    """
 
     entries: List[SweepEntry]
     total_wall_clock_seconds: float
     workers: int
+    complete: bool = True
+    total_tasks: Optional[int] = None
+    #: Corrupt cache files evicted (quarantined) during the cache probe.
+    cache_corruptions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.total_tasks is None:
+            self.total_tasks = len(self.entries)
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -180,9 +209,37 @@ def _canonical_value(obj: Any) -> Any:
     return _ADDRESS_RE.sub("", repr(obj))
 
 
+def _canonical_nonfinite(value: Any) -> Any:
+    """Replace non-finite floats with stable tokens, recursively.
+
+    Bare ``json.dumps`` would emit the non-standard ``Infinity``/``NaN``
+    tokens (and NaN compares unequal even to itself), which strict parsers
+    reject and which can diverge from the scenario layer's explicit ``inf``
+    encoding — splitting cache keys for the same configuration.  The tokens
+    here are namespaced so they cannot collide with a legitimate string
+    parameter value like ``"inf"``.
+    """
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "__float:nan__"
+        if math.isinf(value):
+            return "__float:inf__" if value > 0 else "__float:-inf__"
+        return value
+    if isinstance(value, dict):
+        return {k: _canonical_nonfinite(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical_nonfinite(v) for v in value]
+    return value
+
+
 def _canonical_kwargs(kwargs: Mapping[str, Any]) -> str:
-    """Stable text form of the run kwargs (handles inf, model objects, …)."""
-    return json.dumps(kwargs, sort_keys=True, default=_canonical_value)
+    """Stable text form of the run kwargs (handles inf/NaN, model objects…)."""
+    return json.dumps(
+        _canonical_nonfinite(dict(kwargs)),
+        sort_keys=True,
+        default=_canonical_value,
+        allow_nan=False,
+    )
 
 
 def task_cache_key(task: SweepTask) -> str:
@@ -217,33 +274,10 @@ def default_cache_dir() -> Path:
 
 
 # --------------------------------------------------------------------- #
-# Worker entry points (module level: must be picklable)
-# --------------------------------------------------------------------- #
-def _execute_task(task: SweepTask) -> PolicyRun:
-    return run_workload(
-        task.workload,
-        task.policy,
-        label=task.label,
-        seed=task.resolved_seed(),
-        **task.kwargs,
-    )
-
-
-def _worker(indexed_task: Tuple[int, SweepTask]) -> Tuple[int, str, Any]:
-    index, task = indexed_task
-    t0 = time.perf_counter()
-    try:
-        run = _execute_task(task)
-        return index, "ok", (run, time.perf_counter() - t0)
-    except Exception as exc:  # noqa: BLE001 - must cross the process boundary
-        return index, "error", (f"{type(exc).__name__}: {exc}", traceback.format_exc())
-
-
-# --------------------------------------------------------------------- #
 # The runner
 # --------------------------------------------------------------------- #
 class SweepRunner:
-    """Run a batch of :class:`SweepTask` points, in parallel when possible.
+    """Run a batch of :class:`SweepTask` points through an execution backend.
 
     Parameters
     ----------
@@ -253,13 +287,23 @@ class SweepRunner:
         library call stays safe in any script) and to ``1`` on spawn
         platforms (macOS/Windows), where a process pool inside a library
         call would re-import unguarded caller scripts — opt in explicitly
-        there.  ``1`` runs everything in-process (no pool).
+        there.  ``1`` runs everything in-process (no pool).  An explicit
+        value always beats the environment variable.
     cache_dir:
         Directory for the on-disk result cache.  ``None`` disables caching;
         the string ``"auto"`` selects :func:`default_cache_dir`.
     progress:
         Optional callback ``progress(done, total, entry)`` invoked after
         every completed task (cache hits included).
+    executor:
+        Execution backend override.  ``None`` picks
+        :class:`repro.experiments.executors.SerialExecutor` or
+        :class:`~repro.experiments.executors.ProcessPoolExecutor` from
+        ``max_workers``; pass a
+        :class:`~repro.experiments.executors.ShardedExecutor` to run one
+        shard of the sweep, or a
+        :class:`~repro.experiments.executors.MergeExecutor` to assemble the
+        full result from completed shard manifests.
     """
 
     def __init__(
@@ -267,22 +311,14 @@ class SweepRunner:
         max_workers: Optional[int] = None,
         cache_dir: Optional[Union[str, Path]] = None,
         progress: Optional[Callable[[int, int, SweepEntry], None]] = None,
+        executor: Optional[Executor] = None,
     ) -> None:
-        if max_workers is None:
-            env = os.environ.get("REPRO_SWEEP_WORKERS")
-            if env:
-                max_workers = int(env)
-            elif sys.platform == "linux":
-                max_workers = os.cpu_count() or 1
-            else:
-                max_workers = 1
-        if max_workers < 1:
-            raise ValueError("max_workers must be >= 1")
-        self.max_workers = max_workers
+        self.max_workers = resolve_worker_count(max_workers)
         if cache_dir == "auto":
             cache_dir = default_cache_dir()
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.progress = progress
+        self.executor = executor
 
     # ------------------------------------------------------------------ #
     # Cache plumbing
@@ -292,17 +328,34 @@ class SweepRunner:
             return None
         return self.cache_dir / f"{task_cache_key(task)}.pkl"
 
-    def _cache_load(self, path: Optional[Path]) -> Optional[PolicyRun]:
+    def _cache_load(self, path: Optional[Path]) -> Tuple[Optional[PolicyRun], bool]:
+        """Load one cache entry; returns ``(run, was_corrupt)``.
+
+        A corrupt file (torn write, truncation, unpicklable garbage) is
+        quarantined to ``<name>.pkl.corrupt`` so it is never retried — one
+        bad entry must not poison every subsequent (sharded) run — and
+        reported distinctly from an ordinary miss.
+        """
         if path is None or not path.exists():
-            return None
+            return None, False
         try:
             with path.open("rb") as fh:
                 payload = pickle.load(fh)
+            if not isinstance(payload, dict):
+                raise TypeError(f"cache payload is {type(payload).__name__}, not dict")
             if payload.get("format") != CACHE_FORMAT_VERSION:
-                return None
-            return payload["run"]
-        except Exception:  # corrupt or incompatible entry: treat as a miss
-            return None
+                return None, False  # stale but well-formed: an ordinary miss
+            return payload["run"], False
+        except Exception:  # corrupt entry: quarantine it and treat as a miss
+            quarantine = path.with_name(path.name + ".corrupt")
+            try:
+                os.replace(path, quarantine)
+            except OSError:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            return None, True
 
     def _cache_store(self, path: Optional[Path], task: SweepTask, run: PolicyRun) -> None:
         if path is None:
@@ -332,7 +385,12 @@ class SweepRunner:
 
     # ------------------------------------------------------------------ #
     def run(self, tasks: Sequence[SweepTask]) -> SweepResult:
-        """Execute every task and return their results in task order."""
+        """Execute every task and return their results in task order.
+
+        With a partial executor (a shard), only the tasks finished so far
+        are returned and ``result.complete`` is ``False``; any other
+        executor must finish the whole plan.
+        """
         tasks = list(tasks)
         keys = [task.resolved_key() for task in tasks]
         if len(set(keys)) != len(keys):
@@ -344,9 +402,13 @@ class SweepRunner:
         done = 0
         entries: List[Optional[SweepEntry]] = [None] * total
         misses: List[int] = []
+        corrupt_indices: List[int] = []
+        cache_paths = [self._cache_path(task) for task in tasks]
 
         for index, task in enumerate(tasks):
-            cached = self._cache_load(self._cache_path(task))
+            cached, was_corrupt = self._cache_load(cache_paths[index])
+            if was_corrupt:
+                corrupt_indices.append(index)
             if cached is not None:
                 entries[index] = SweepEntry(
                     key=keys[index], run=cached, from_cache=True, wall_clock_seconds=0.0
@@ -358,100 +420,43 @@ class SweepRunner:
                 misses.append(index)
 
         workers = min(self.max_workers, max(1, len(misses)))
-        if misses:
-            if workers == 1:
-                self._run_serial(tasks, keys, entries, misses, total, done)
-            else:
-                self._run_parallel(tasks, keys, entries, misses, total, done, workers)
 
-        finished = [entry for entry in entries if entry is not None]
-        assert len(finished) == total
-        return SweepResult(
-            entries=finished,
-            total_wall_clock_seconds=time.perf_counter() - started,
-            workers=workers,
-        )
-
-    # ------------------------------------------------------------------ #
-    def _finish(
-        self,
-        tasks: Sequence[SweepTask],
-        keys: Sequence[str],
-        entries: List[Optional[SweepEntry]],
-        index: int,
-        run: PolicyRun,
-        elapsed: float,
-    ) -> SweepEntry:
-        self._cache_store(self._cache_path(tasks[index]), tasks[index], run)
-        entry = SweepEntry(
-            key=keys[index], run=run, from_cache=False, wall_clock_seconds=elapsed
-        )
-        entries[index] = entry
-        return entry
-
-    def _run_serial(
-        self,
-        tasks: Sequence[SweepTask],
-        keys: Sequence[str],
-        entries: List[Optional[SweepEntry]],
-        misses: Sequence[int],
-        total: int,
-        done: int,
-    ) -> None:
-        for index in misses:
-            t0 = time.perf_counter()
-            try:
-                run = _execute_task(tasks[index])
-            except Exception as exc:
-                raise SweepError(
-                    keys[index], f"{type(exc).__name__}: {exc}", traceback.format_exc()
-                ) from exc
-            entry = self._finish(tasks, keys, entries, index, run, time.perf_counter() - t0)
+        def complete(index: int, run: PolicyRun, elapsed: float) -> None:
+            nonlocal done
+            self._cache_store(cache_paths[index], tasks[index], run)
+            entry = SweepEntry(
+                key=keys[index], run=run, from_cache=False, wall_clock_seconds=elapsed
+            )
+            entries[index] = entry
             done += 1
             if self.progress is not None:
                 self.progress(done, total, entry)
 
-    def _run_parallel(
-        self,
-        tasks: Sequence[SweepTask],
-        keys: Sequence[str],
-        entries: List[Optional[SweepEntry]],
-        misses: Sequence[int],
-        total: int,
-        done: int,
-        workers: int,
-    ) -> None:
-        # Fork shares the already-built workload objects cheaply, but is only
-        # safe on Linux (macOS frameworks may abort in forked children); use
-        # the platform default start method everywhere else.
-        if sys.platform == "linux":
-            context = multiprocessing.get_context("fork")
-        else:
-            context = multiprocessing.get_context()
-        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            futures = {
-                pool.submit(_worker, (index, tasks[index])): index for index in misses
-            }
-            pending = set(futures)
-            while pending:
-                # _worker never raises, so wait for completions one batch at
-                # a time: progress streams and failures cancel the remainder
-                # as soon as they are observed.
-                finished, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    index = futures[future]
-                    exc = future.exception()
-                    if exc is not None:
-                        # Pool infrastructure failure (e.g. a killed worker).
-                        pool.shutdown(cancel_futures=True)
-                        raise SweepError(keys[index], f"{type(exc).__name__}: {exc}")
-                    got_index, status, payload = future.result()
-                    if status == "error":
-                        message, worker_tb = payload
-                        pool.shutdown(cancel_futures=True)
-                        raise SweepError(keys[got_index], message, worker_tb)
-                    run, elapsed = payload
-                    entry = self._finish(tasks, keys, entries, got_index, run, elapsed)
-                    done += 1
-                    if self.progress is not None:
-                        self.progress(done, total, entry)
+        executor = self.executor or default_executor(self.max_workers, len(misses))
+        executor.execute(
+            ExecutionPlan(
+                tasks=tasks,
+                keys=keys,
+                cache_paths=cache_paths,
+                pending=misses,
+                complete=complete,
+                max_workers=self.max_workers,
+                corrupt=corrupt_indices,
+            )
+        )
+
+        finished = [entry for entry in entries if entry is not None]
+        if len(finished) != total and not executor.partial:
+            unfinished = [keys[i] for i, e in enumerate(entries) if e is None]
+            raise ExecutorError(
+                f"executor {type(executor).__name__} left task(s) unfinished: "
+                f"{unfinished}"
+            )
+        return SweepResult(
+            entries=finished,
+            total_wall_clock_seconds=time.perf_counter() - started,
+            workers=workers,
+            complete=len(finished) == total,
+            total_tasks=total,
+            cache_corruptions=len(corrupt_indices),
+        )

@@ -116,12 +116,23 @@ class RealRunEmulator:
         """Run static backfill and SD-Policy and compute the improvements.
 
         ``runner`` is an optional :class:`repro.experiments.sweep.SweepRunner`
-        controlling the fan-out (worker count, result cache).
+        controlling the fan-out (worker count, result cache).  A runner with
+        a sharded executor is rejected: the comparison needs both runs, so
+        finish every shard and pass an unsharded runner (same cache dir).
         """
         from repro.experiments.scenario import realrun_improvements, run_scenario
+        from repro.experiments.sweep import ExecutorError
 
         started = time.perf_counter()
         outcome = run_scenario(self.scenario_spec(), runner=runner, workloads=self.workload)
+        if not outcome.complete:
+            sweep = outcome.sweep
+            raise ExecutorError(
+                f"real-run comparison needs the full static/SD pair but the "
+                f"sharded runner completed only {len(sweep)}/{sweep.total_tasks} "
+                "tasks; run the remaining shards, then compare with an "
+                "unsharded runner against the same cache dir"
+            )
         stats = realrun_improvements(outcome, power_model=self.power_model)
         return RealRunOutcome(
             improvements=stats["improvements"],

@@ -91,6 +91,123 @@ class TestCommands:
         assert "ignored" not in captured.err
 
 
+class TestWorkersPrecedence:
+    """An explicit ``--workers`` must beat ``REPRO_SWEEP_WORKERS`` on every
+    sweep-backed subcommand; the env var applies only when the flag is
+    absent."""
+
+    def test_explicit_workers_beats_env_on_sweep(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "1")
+        assert main(["sweep", "--workload", "3", "--scale", "0.01",
+                     "--workers", "2"]) == 0
+        assert "workers: 2" in capsys.readouterr().err
+
+    def test_env_applies_without_flag(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "3")
+        assert main(["sweep", "--workload", "3", "--scale", "0.01"]) == 0
+        assert "workers: 3" in capsys.readouterr().err
+
+    def test_all_subcommands_forward_explicit_workers(self, monkeypatch, capsys):
+        """Every sweep-backed subcommand constructs its runner with the
+        explicit flag value — never ``None`` (which would let the env var
+        win on that path)."""
+        import repro.cli as cli_mod
+
+        created = []
+        real_runner = cli_mod.SweepRunner
+
+        class RecordingRunner(real_runner):
+            def __init__(self, max_workers=None, **kwargs):
+                created.append(max_workers)
+                super().__init__(max_workers=max_workers, **kwargs)
+
+        monkeypatch.setattr(cli_mod, "SweepRunner", RecordingRunner)
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "7")
+        for argv in (
+            ["sweep", "--workload", "3", "--scale", "0.01", "--workers", "2"],
+            ["scenario", "table2", "--scale", "0.2", "--workers", "2"],
+            ["table", "1", "--scale", "0.01", "--workers", "2"],
+            ["table", "2", "--scale", "0.2", "--workers", "2"],
+            ["figure", "3", "--workload", "3", "--scale", "0.01",
+             "--workers", "2"],
+        ):
+            assert main(argv) == 0, argv
+            capsys.readouterr()
+        assert created == [2] * len(created) and created, (
+            f"a subcommand dropped --workers: {created}"
+        )
+
+
+class TestShardCLI:
+    def _sweep_argv(self, cache, extra=()):
+        return ["sweep", "--workload", "3", "--scale", "0.01",
+                "--cache-dir", str(cache), *extra]
+
+    def test_shard_requires_cache_dir(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--workload", "3", "--scale", "0.01", "--shard", "1/2"])
+        assert excinfo.value.code == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("bad", ["0/2", "3/2", "x", "1/0"])
+    def test_shard_argument_validation(self, bad):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--cache-dir", "c", "--shard", bad]
+            )
+
+    def test_merge_requires_cache_dir(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "merge", "--workload", "3", "--scale", "0.01"])
+        assert excinfo.value.code == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_merge_without_manifests_is_clean_error(self, tmp_path, capsys):
+        assert main(["sweep", "merge", "--workload", "3", "--scale", "0.01",
+                     "--cache-dir", str(tmp_path)]) == 2
+        assert "no shard manifests" in capsys.readouterr().err
+
+    def test_shard_then_merge_matches_single_process(self, tmp_path, capsys):
+        assert main(["sweep", "--workload", "3", "--scale", "0.01",
+                     "--workers", "1"]) == 0
+        golden = capsys.readouterr().out
+
+        cache = tmp_path / "cache"
+        assert main(self._sweep_argv(cache, ["--shard", "1/2"])) == 0
+        first = capsys.readouterr().out
+        assert "shard run finished" in first
+        assert main(self._sweep_argv(cache, ["--shard", "2/2"])) == 0
+        capsys.readouterr()
+        assert main(["sweep", "merge", "--workload", "3", "--scale", "0.01",
+                     "--cache-dir", str(cache)]) == 0
+        merged = capsys.readouterr().out
+        assert merged == golden, "merged output diverged from single-process run"
+
+    def test_merge_fails_with_missing_shard(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(self._sweep_argv(cache, ["--shard", "1/2"])) == 0
+        capsys.readouterr()
+        assert main(["sweep", "merge", "--workload", "3", "--scale", "0.01",
+                     "--cache-dir", str(cache)]) == 2
+        assert "2/2" in capsys.readouterr().err
+
+    def test_scenario_shard_prints_progress_not_report(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        argv = ["scenario", "figure4-6", "--scale", "0.01",
+                "--cache-dir", str(cache)]
+        assert main(argv + ["--shard", "1/2"]) == 0
+        captured = capsys.readouterr()
+        assert "shard run finished" in captured.out
+        assert "Figure 4" not in captured.out
+        assert main(argv + ["--shard", "2/2"]) == 0
+        capsys.readouterr()
+        # All shards done: the unsharded rerun assembles from the cache.
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "Figure 4" in captured.out
+        assert "cache hits: 2" in captured.err
+
+
 class TestScenarioCommand:
     def _spec_path(self, tmp_path, tiny_workload, **overrides):
         swf = tmp_path / "tiny.swf"

@@ -254,6 +254,56 @@ class TestExecution:
         assert "Table 2" in render_report(outcome)
 
 
+class TestBuiltinSeedConsistency:
+    """``--seed`` (and the builders' defaults) must apply to *both* workload
+    generation (``WorkloadRef.seed``) and the simulation seed
+    (``ScenarioSpec.seed``) — the two used to be set independently and could
+    drift."""
+
+    SEEDED_BUILTINS = ("figure1-3", "figure4-6", "figure7", "figure8", "figure9")
+
+    def test_seed_override_applies_to_workloads_and_simulation(self):
+        for name in self.SEEDED_BUILTINS:
+            spec = builtin_scenario(name, seed=42)
+            assert spec.seed == 42, name
+            assert all(ref.seed == 42 for ref in spec.workloads), name
+
+    def test_figure9_default_seeds_agree(self):
+        spec = builtin_scenario("figure9")
+        assert spec.seed == 5005
+        assert spec.workloads[0].seed == 5005
+
+    def test_tasks_carry_the_override_seed(self, workload):
+        spec = builtin_scenario("figure4-6", seed=11)
+        spec.workloads = [WorkloadRef(name=workload.name)]
+        tasks = spec.tasks({workload.name: workload})
+        assert tasks and all(t.resolved_seed() == 11 for t in tasks)
+
+    def test_scale_override_applies_to_every_ref(self):
+        spec = builtin_scenario("figure8", scale=0.02, seed=9)
+        assert all(ref.scale == 0.02 and ref.seed == 9 for ref in spec.workloads)
+
+
+class TestShardedScenario:
+    def test_partial_outcome_has_no_cells(self, workload, tmp_path):
+        from repro.experiments.sweep import ShardedExecutor
+
+        runner = SweepRunner(
+            max_workers=1, cache_dir=tmp_path / "c", executor=ShardedExecutor(0, 2)
+        )
+        outcome = _spec().execute(runner=runner, workloads=workload)
+        assert not outcome.complete
+        assert outcome.cells == [] and outcome.baselines == {}
+        assert outcome.sweep is not None and not outcome.sweep.complete
+
+    def test_spec_execute_matches_run_scenario(self, workload):
+        direct = run_scenario(_spec(), workloads=workload)
+        via_method = _spec().execute(workloads=workload)
+        assert direct.complete and via_method.complete
+        for a, b in zip(direct.cells, via_method.cells):
+            assert a.run.metrics.as_dict() == b.run.metrics.as_dict()
+
+
 class TestWorkloadRef:
     def test_preset_build(self):
         ref = WorkloadRef(preset=3, scale=0.01)

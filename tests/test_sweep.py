@@ -12,6 +12,7 @@ from repro.experiments.sweep import (
     SweepError,
     SweepRunner,
     SweepTask,
+    _canonical_kwargs,
     fingerprint_workload,
     task_cache_key,
 )
@@ -117,6 +118,38 @@ class TestCache:
         result = SweepRunner(max_workers=1, cache_dir=tmp_path).run(tasks)
         assert result.cache_hits == 0
 
+    def test_corrupt_cache_entry_is_quarantined_and_counted(self, tasks, tmp_path):
+        """A torn pickle is moved aside (never retried) and counted
+        distinctly from an ordinary miss, so one bad write cannot poison
+        every subsequent (sharded) run."""
+        SweepRunner(max_workers=1, cache_dir=tmp_path).run(tasks)
+        for path in tmp_path.glob("*.pkl"):
+            path.write_bytes(b"\x80\x04 torn write")
+        second = SweepRunner(max_workers=1, cache_dir=tmp_path).run(tasks)
+        assert second.cache_hits == 0
+        assert second.cache_corruptions == len(tasks)
+        quarantined = list(tmp_path.glob("*.pkl.corrupt"))
+        assert len(quarantined) == len(tasks)
+        # The rerun rewrote good entries: the third run is all hits, no
+        # corruption is re-reported, and the quarantine files are inert.
+        third = SweepRunner(max_workers=1, cache_dir=tmp_path).run(tasks)
+        assert third.cache_hits == len(tasks)
+        assert third.cache_corruptions == 0
+
+    def test_stale_format_is_miss_not_corruption(self, tasks, tmp_path):
+        import pickle as _pickle
+
+        runner = SweepRunner(max_workers=1, cache_dir=tmp_path)
+        runner.run(tasks)
+        for path in tmp_path.glob("*.pkl"):
+            payload = _pickle.loads(path.read_bytes())
+            payload["format"] = -1
+            path.write_bytes(_pickle.dumps(payload))
+        result = SweepRunner(max_workers=1, cache_dir=tmp_path).run(tasks)
+        assert result.cache_hits == 0
+        assert result.cache_corruptions == 0
+        assert not list(tmp_path.glob("*.pkl.corrupt"))
+
     def test_progress_callback_reports_cache_hits(self, tasks, tmp_path):
         SweepRunner(max_workers=1, cache_dir=tmp_path).run(tasks)
         events = []
@@ -130,6 +163,63 @@ class TestCache:
         assert [e[0] for e in events] == list(range(1, len(tasks) + 1))
         assert all(total == len(tasks) for _, total, _, _ in events)
         assert all(hit for _, _, _, hit in events)
+
+
+class TestCanonicalKwargs:
+    """Cache keys must be stable for non-finite floats (NaN ≠ NaN and the
+    non-standard ``Infinity``/``NaN`` JSON tokens used to leak into keys)."""
+
+    def test_no_nonstandard_json_tokens(self):
+        text = _canonical_kwargs(
+            {"a": math.inf, "b": -math.inf, "c": math.nan, "d": [math.inf]}
+        )
+        assert "Infinity" not in text
+        assert "NaN" not in text
+
+    def test_nan_keys_are_stable(self, workload):
+        def make():
+            return SweepTask(
+                workload=workload, policy="sd_policy", key="a", seed=0,
+                kwargs={"max_slowdown": float("nan")},
+            )
+
+        assert task_cache_key(make()) == task_cache_key(make())
+
+    def test_nonfinite_values_stay_distinct(self, workload):
+        def key_for(value):
+            return task_cache_key(
+                SweepTask(workload=workload, policy="sd_policy", key="a", seed=0,
+                          kwargs={"max_slowdown": value})
+            )
+
+        keys = [key_for(v) for v in (math.inf, -math.inf, math.nan, 10.0)]
+        assert len(set(keys)) == len(keys)
+
+    def test_nested_nonfinite_canonicalised(self):
+        a = _canonical_kwargs({"grid": {"cut": [math.inf, 1.0]}, "w": (math.nan,)})
+        b = _canonical_kwargs({"grid": {"cut": [float("inf"), 1.0]},
+                               "w": [float("nan")]})
+        assert a == b
+
+    def test_inf_token_does_not_collide_with_string(self, workload):
+        """A float inf and the *string* a spec would hold pre-decode must not
+        share a cache key."""
+        as_float = SweepTask(workload=workload, policy="sd_policy", key="a", seed=0,
+                             kwargs={"max_slowdown": math.inf})
+        as_string = SweepTask(workload=workload, policy="sd_policy", key="a", seed=0,
+                              kwargs={"max_slowdown": "inf"})
+        assert task_cache_key(as_float) != task_cache_key(as_string)
+
+    def test_scenario_decoded_inf_matches_direct_inf(self, workload):
+        """scenario.py's ``"inf"`` decoding and a directly-passed math.inf
+        land on the same key, so sharded processes agree on cache paths."""
+        from repro.experiments.scenario import decode_value
+
+        direct = SweepTask(workload=workload, policy="sd_policy", key="a", seed=0,
+                           kwargs={"max_slowdown": math.inf})
+        decoded = SweepTask(workload=workload, policy="sd_policy", key="a", seed=0,
+                            kwargs={"max_slowdown": decode_value("inf")})
+        assert task_cache_key(direct) == task_cache_key(decoded)
 
 
 class TestFailures:
