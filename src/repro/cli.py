@@ -16,16 +16,26 @@ shell (installed as ``repro-sdpolicy`` or via ``python -m repro``):
 * ``table1`` / ``table2`` — regenerate the paper's tables;
 * ``figure`` — regenerate a figure by number (1–9; 1/2/3 and 4/5/6 are
   grouped as in the paper); every figure honours ``--workers`` and
-  ``--cache-dir``;
+  ``--cache-dir``/``--store``;
+* ``store`` — inspect and manage result stores (``stats``, ``prune``,
+  ``push``/``pull`` mirroring, and ``serve`` — an in-process
+  S3-compatible endpoint for tests and CI);
 * ``swf`` — inspect a Standard Workload Format file.
+
+Every sweep-backed subcommand accepts ``--store URL`` selecting a result
+store backend (``file://…``, ``memory://…``, ``s3+http(s)://…``) instead
+of the local ``--cache-dir``; with neither flag set, ``REPRO_STORE_URL``
+applies.
 
 Example::
 
     repro-sdpolicy figure 3 --workload 3 --scale 0.05
     repro-sdpolicy compare --workload 1 --scale 0.05 --maxsd 10
     repro-sdpolicy sweep --workload 1 --scale 0.04 --workers 4 --cache-dir auto
-    repro-sdpolicy sweep --workload 1 --scale 0.04 --cache-dir /shared --shard 1/2
-    repro-sdpolicy sweep merge --workload 1 --scale 0.04 --cache-dir /shared
+    repro-sdpolicy sweep --workload 1 --scale 0.04 --store s3+http://cache:9000/repro --shard 1/2
+    repro-sdpolicy sweep merge --workload 1 --scale 0.04 --store s3+http://cache:9000/repro
+    repro-sdpolicy store stats s3+http://cache:9000/repro
+    repro-sdpolicy store pull s3+http://cache:9000/repro ~/.cache/repro/sweeps
     repro-sdpolicy scenario examples/figure7_scenario.json --workers 2
     repro-sdpolicy scenario --list
 """
@@ -36,7 +46,7 @@ import argparse
 import math
 import os
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.analysis.tables import metrics_table
 from repro.experiments.paper import (
@@ -63,6 +73,7 @@ from repro.experiments.sweep import (
     SweepRunner,
 )
 from repro.experiments.executors import parse_shard
+from repro.store import StoreError, mirror, open_store, parse_age, prune
 from repro.workloads.presets import build_workload
 from repro.workloads.swf import read_swf
 
@@ -119,17 +130,24 @@ def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--cache-dir", type=str, default=None,
-        help="on-disk sweep result cache; 'auto' selects ~/.cache/repro/sweeps "
+        help="on-disk sweep result cache; 'auto' selects the XDG cache dir "
              "(default: caching disabled)",
+    )
+    parser.add_argument(
+        "--store", type=str, default=None, metavar="URL",
+        help="result-store backend URL (file://…, memory://…, "
+             "s3+http(s)://host/prefix); REPRO_STORE_URL applies when "
+             "neither --store nor --cache-dir is given",
     )
     parser.add_argument(
         "--shard", type=_parse_shard_arg, default=None, metavar="I/N",
         help="run only shard I of N (1-based) of the expanded sweep tasks and "
-             "record a resumable manifest; requires --cache-dir",
+             "record a resumable manifest; requires --cache-dir or --store",
     )
     parser.add_argument(
         "--manifest", type=str, default=None, metavar="DIR",
-        help="shard manifest directory (default: <cache-dir>/manifests)",
+        help="local shard manifest directory override "
+             "(default: the manifests/ namespace of the store)",
     )
 
 
@@ -142,22 +160,35 @@ def _make_runner(
             origin = "cache" if entry.from_cache else f"{entry.wall_clock_seconds:.1f}s"
             print(f"  [{done}/{total}] {entry.key} ({origin})", file=sys.stderr)
     cache_dir = getattr(args, "cache_dir", None)
+    store = getattr(args, "store", None)
     shard = getattr(args, "shard", None)
     manifest = getattr(args, "manifest", None)
+    if store and cache_dir:
+        print(
+            "error: --store and --cache-dir are mutually exclusive "
+            "(--cache-dir PATH is shorthand for --store file://PATH)",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    has_store = bool(store or cache_dir or os.environ.get("REPRO_STORE_URL"))
     executor = None
     if merge:
         if shard is not None:
             print("error: --shard cannot be combined with merge", file=sys.stderr)
             raise SystemExit(2)
-        if not cache_dir:
-            print("error: merging a sharded sweep requires --cache-dir", file=sys.stderr)
+        if not has_store:
+            print(
+                "error: merging a sharded sweep requires a result store "
+                "(--cache-dir or --store)",
+                file=sys.stderr,
+            )
             raise SystemExit(2)
         executor = MergeExecutor(manifest_dir=manifest)
     elif shard is not None:
-        if not cache_dir:
+        if not has_store:
             print(
-                "error: --shard requires --cache-dir (the cache carries results "
-                "between shard invocations)",
+                "error: --shard requires a result store (--cache-dir or --store; "
+                "the store carries results between shard invocations)",
                 file=sys.stderr,
             )
             raise SystemExit(2)
@@ -168,6 +199,7 @@ def _make_runner(
     return SweepRunner(
         max_workers=getattr(args, "workers", None),
         cache_dir=cache_dir,
+        store=store,
         progress=callback,
         executor=executor,
     )
@@ -351,6 +383,91 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _human_bytes(count: int) -> str:
+    size = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024
+    return f"{int(size)} B"  # pragma: no cover - unreachable
+
+
+def _open_cli_store(url: Optional[str]):
+    """Open a store for the ``store`` subcommands (REPRO_STORE_URL fallback)."""
+    url = url or os.environ.get("REPRO_STORE_URL")
+    if not url:
+        print(
+            "error: give a store URL (file://…, memory://…, s3+http(s)://…) "
+            "or set REPRO_STORE_URL",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return open_store(url)
+
+
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    store = _open_cli_store(args.url)
+    stats = store.stats()
+    print(f"store:       {store.url}")
+    print(f"blobs:       {stats.blobs} ({_human_bytes(stats.blob_bytes)})")
+    print(f"manifests:   {stats.manifests} ({_human_bytes(stats.manifest_bytes)})")
+    print(f"quarantined: {stats.quarantined}")
+    return 0
+
+
+def _cmd_store_prune(args: argparse.Namespace) -> int:
+    try:
+        age = parse_age(args.older_than)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    store = _open_cli_store(args.url)
+    stats = prune(store, age, dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(
+        f"{store.url}: {verb} {stats.blobs_removed} blob(s) "
+        f"({_human_bytes(stats.blob_bytes_freed)}) and "
+        f"{stats.quarantined_removed} quarantined entr"
+        f"{'y' if stats.quarantined_removed == 1 else 'ies'}; "
+        f"kept {stats.kept}"
+        + (f", skipped {stats.unknown_age} of unknown age" if stats.unknown_age else "")
+    )
+    return 0
+
+
+def _cmd_store_mirror(args: argparse.Namespace) -> int:
+    source = _open_cli_store(args.source)
+    target = _open_cli_store(args.dest)
+    stats = mirror(source, target, overwrite=args.overwrite)
+    print(
+        f"{source.url} -> {target.url}: copied {stats.blobs_copied} blob(s) "
+        f"({_human_bytes(stats.blob_bytes_copied)}), skipped "
+        f"{stats.blobs_skipped} already present, "
+        f"{stats.manifests_copied} manifest(s)"
+    )
+    return 0
+
+
+def _cmd_store_serve(args: argparse.Namespace) -> int:
+    from repro.store.fake import ObjectStoreServer
+
+    try:
+        server = ObjectStoreServer(host=args.host, port=args.port, verbose=args.verbose)
+    except OSError as exc:  # port in use, unresolvable host…
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"serving object store on {server.store_url()} "
+        "(in-memory, unauthenticated — testing/CI only; Ctrl-C to stop)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    return 0
+
+
 def _cmd_swf(args: argparse.Namespace) -> int:
     workload = read_swf(args.path, max_jobs=args.max_jobs)
     for key, value in workload.describe().items():
@@ -432,6 +549,63 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep_args(p_fig)
     p_fig.set_defaults(func=_cmd_figure)
 
+    p_store = sub.add_parser(
+        "store",
+        help="inspect/manage result stores (stats, prune, push/pull, serve)",
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+
+    p_st_stats = store_sub.add_parser(
+        "stats", help="blob/manifest counts and sizes of a store"
+    )
+    p_st_stats.add_argument(
+        "url", nargs="?", default=None,
+        help="store URL (default: REPRO_STORE_URL)",
+    )
+    p_st_stats.set_defaults(func=_cmd_store_stats)
+
+    p_st_prune = store_sub.add_parser(
+        "prune",
+        help="delete blobs older than a cutoff (quarantined entries always go)",
+    )
+    p_st_prune.add_argument("url", nargs="?", default=None,
+                            help="store URL (default: REPRO_STORE_URL)")
+    p_st_prune.add_argument(
+        "--older-than", required=True, metavar="AGE",
+        help="age cutoff: 90s, 45m, 12h, 30d, 2w (a bare number means days)",
+    )
+    p_st_prune.add_argument("--dry-run", action="store_true",
+                            help="report what would be removed, delete nothing")
+    p_st_prune.set_defaults(func=_cmd_store_prune)
+
+    p_st_push = store_sub.add_parser(
+        "push", help="mirror a local cache into a (remote) store"
+    )
+    p_st_push.add_argument("source", help="local cache dir or store URL to copy from")
+    p_st_push.add_argument("dest", help="store URL to copy into")
+    p_st_push.add_argument("--overwrite", action="store_true",
+                           help="re-copy blobs already present in the target")
+    p_st_push.set_defaults(func=_cmd_store_mirror)
+
+    p_st_pull = store_sub.add_parser(
+        "pull", help="mirror a (remote) store into a local cache"
+    )
+    p_st_pull.add_argument("source", help="store URL to copy from")
+    p_st_pull.add_argument("dest", help="local cache dir or store URL to copy into")
+    p_st_pull.add_argument("--overwrite", action="store_true",
+                           help="re-copy blobs already present in the target")
+    p_st_pull.set_defaults(func=_cmd_store_mirror)
+
+    p_st_serve = store_sub.add_parser(
+        "serve",
+        help="run the in-process S3-compatible object endpoint (testing/CI)",
+    )
+    p_st_serve.add_argument("--host", default="127.0.0.1")
+    p_st_serve.add_argument("--port", type=int, default=9317)
+    p_st_serve.add_argument("--verbose", action="store_true",
+                            help="log every request to stderr")
+    p_st_serve.set_defaults(func=_cmd_store_serve)
+
     p_swf = sub.add_parser("swf", help="inspect a Standard Workload Format log")
     p_swf.add_argument("path")
     p_swf.add_argument("--max-jobs", type=int, default=None)
@@ -446,9 +620,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ExecutorError as exc:
-        # Sharded-execution state problems (missing cache dir, incomplete or
-        # inconsistent shard manifests) are user-fixable: no traceback.
+    except (ExecutorError, StoreError) as exc:
+        # Sharded-execution / result-store problems (missing cache dir, bad
+        # store URL, unreachable endpoint, incomplete or inconsistent shard
+        # manifests) are user-fixable: no traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -2,7 +2,9 @@
 
 :mod:`repro.experiments.runner` runs one workload under one policy and
 returns the metrics; :mod:`repro.experiments.sweep` fans independent runs
-out over a process pool with an on-disk result cache;
+out over a process pool with a result cache in a pluggable
+:mod:`repro.store` backend (local directory, memory, or remote object
+store);
 :mod:`repro.experiments.scenario` turns a declarative spec (workload ref ×
 policy × parameter grid, JSON round-trippable) into sweep tasks and reports;
 :mod:`repro.experiments.paper` wraps the built-in scenarios behind every

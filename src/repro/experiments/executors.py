@@ -9,31 +9,31 @@ the cache misses are executed:
   ``SweepRunner._run_parallel`` path);
 * :class:`ShardedExecutor` — executes only a deterministic ``1/N`` slice of
   the task list and records progress in a resumable JSON *shard manifest*
-  next to the cache directory, so one sweep can be split across machines
+  inside the result store, so one sweep can be split across machines
   (or cron ticks) and resumed after a kill;
 * :class:`MergeExecutor` — executes nothing: it validates that every shard
   manifest of the sweep is complete and lets the runner assemble the full
   result from the shared cache, bit-identical to a single-process run.
 
-Sharded execution relies on the on-disk result cache as the transport
-between invocations: every completed task is published atomically to the
-cache, the manifest records its key, cache path and status, and a resumed
-or merging invocation turns completed tasks into cache hits.  The manifest
-is advisory for resume (the cache probe is what skips finished work) and
-authoritative for merge (a merge refuses to run until all shards report
-``done``).
+Sharded execution relies on the runner's result store
+(:mod:`repro.store` — a shared directory, or a remote object endpoint) as
+the transport between invocations: every completed task is published
+atomically to the store, the manifest records its key, cache key and
+status, and a resumed or merging invocation turns completed tasks into
+cache hits.  The manifest is advisory for resume (the cache probe is what
+skips finished work) and authoritative for merge (a merge refuses to run
+until all shards report ``done``).  With a remote store, shards on
+different machines need no shared filesystem at all.
 """
 
 from __future__ import annotations
 
 import abc
 import hashlib
-import json
 import multiprocessing
 import os
 import re
 import sys
-import tempfile
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, wait
@@ -49,14 +49,20 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
+
+from repro.store import LocalFSStore, ResultStore, StoreError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
     from repro.experiments.runner import PolicyRun
     from repro.experiments.sweep import SweepTask
 
 #: Bump when the shard manifest layout changes; old manifests are rejected.
-MANIFEST_FORMAT_VERSION = 1
+#: v2: manifests live in the result store, records carry ``cache_key``
+#: (``cache_path`` only for local-FS stores) and the shard reports its
+#: quarantined-corruption count.
+MANIFEST_FORMAT_VERSION = 2
 
 #: Subdirectory of the cache directory holding shard manifests by default.
 MANIFEST_DIR_NAME = "manifests"
@@ -136,12 +142,16 @@ def _worker(indexed_task: Tuple[int, "SweepTask"]) -> Tuple[int, str, Any]:
 class ExecutionPlan:
     """Everything an executor needs to run one sweep's cache misses.
 
-    ``tasks``/``keys``/``cache_paths`` cover the *full* sweep in task order;
+    ``tasks``/``keys``/``cache_keys`` cover the *full* sweep in task order;
     ``pending`` are the indices whose results were not served from the
     cache and ``corrupt`` the subset of those whose cache entry existed but
-    was quarantined as unreadable.  Executors call ``complete(index, run,
-    elapsed)`` for every task they finish — the runner stores the cache
-    entry, records the result and fires the progress callback.
+    was quarantined as unreadable.  ``store`` is the runner's result store
+    (``None`` when caching is disabled) — the transport sharded executors
+    publish through.  Executors call ``complete(index, run, elapsed)`` for
+    every task they finish — the runner stores the cache entry, records the
+    result and fires the progress callback — and may call
+    ``note_corruptions(n)`` to add corruption counts discovered outside the
+    runner's own probe (a merge aggregating shard manifests does).
     ``max_workers`` is the runner's resolved worker budget, which executors
     that spawn their own inner backend must respect unless explicitly
     configured otherwise.
@@ -149,11 +159,13 @@ class ExecutionPlan:
 
     tasks: Sequence["SweepTask"]
     keys: Sequence[str]
-    cache_paths: Sequence[Optional[Path]]
+    cache_keys: Sequence[Optional[str]]
     pending: List[int]
     complete: Callable[[int, "PolicyRun", float], None]
+    store: Optional[ResultStore] = None
     max_workers: int = 1
     corrupt: Sequence[int] = ()
+    note_corruptions: Optional[Callable[[int], None]] = None
 
 
 class Executor(abc.ABC):
@@ -271,52 +283,49 @@ def parse_shard(value: str) -> Tuple[int, int]:
     return index - 1, count
 
 
-def sweep_id(cache_paths: Sequence[Optional[Path]]) -> str:
+def sweep_id(cache_keys: Sequence[Optional[str]]) -> str:
     """Stable identifier of one sweep: a hash over its ordered cache keys.
 
-    Cache-file stems *are* the task cache keys (workload content + full run
-    configuration), so two invocations that expand the same task list agree
-    on the id without sharing any state but the cache directory.
+    Cache keys are content hashes of workload + full run configuration, so
+    two invocations that expand the same task list agree on the id without
+    sharing any state but the result store.
     """
     h = hashlib.sha256()
-    for path in cache_paths:
-        if path is None:
-            raise ExecutorError("sweep_id needs cache paths (enable a cache dir)")
-        h.update(path.stem.encode("utf-8"))
+    for key in cache_keys:
+        if key is None:
+            raise ExecutorError("sweep_id needs cache keys (enable a result store)")
+        h.update(key.encode("utf-8"))
         h.update(b"|")
     return h.hexdigest()[:16]
 
 
-def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2, sort_keys=True)
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
+def manifest_name(sweep: str, shard_index: int, shard_count: int) -> str:
+    """Canonical manifest name for one shard of one sweep."""
+    return f"{sweep}.shard-{shard_index + 1}-of-{shard_count}"
 
 
-def manifest_path(
-    manifest_dir: Path, sweep: str, shard_index: int, shard_count: int
-) -> Path:
-    """Canonical manifest location for one shard of one sweep."""
-    return manifest_dir / f"{sweep}.shard-{shard_index + 1}-of-{shard_count}.json"
-
-
-def _require_cache(plan: ExecutionPlan, what: str) -> Path:
-    paths = [p for p in plan.cache_paths if p is not None]
-    if len(paths) != len(plan.cache_paths) or not paths:
+def _require_store(plan: ExecutionPlan, what: str) -> ResultStore:
+    if plan.store is None or any(k is None for k in plan.cache_keys):
         raise ExecutorError(
-            f"{what} requires the on-disk result cache (pass cache_dir/--cache-dir): "
-            "the cache is the transport between shard invocations"
+            f"{what} requires a result store (pass cache_dir/--cache-dir or a "
+            "store/--store URL): the store is the transport between shard "
+            "invocations"
         )
-    return paths[0].parent
+    return plan.store
+
+
+def _manifest_store(
+    store: ResultStore, manifest_dir: Optional[Path]
+) -> ResultStore:
+    """The store shard manifests go through.
+
+    ``manifest_dir`` (the CLI's ``--manifest DIR``) redirects manifests to
+    an explicit local directory — the blobs stay wherever ``store`` puts
+    them.
+    """
+    if manifest_dir is None:
+        return store
+    return LocalFSStore(manifest_dir, manifest_dir=manifest_dir)
 
 
 class ShardedExecutor(Executor):
@@ -325,10 +334,10 @@ class ShardedExecutor(Executor):
     Tasks are partitioned round-robin by task index (task ``i`` belongs to
     shard ``i % N``), so every invocation — any machine, any time — agrees
     on the split without coordination.  Completed tasks publish to the
-    shared cache; the shard's manifest (JSON next to the cache dir) records
-    each owned task's key, cache path and status after every completion, so
-    a killed shard can simply be re-invoked: finished tasks come back as
-    cache hits and only unfinished ones re-run.
+    shared result store; the shard's manifest (an atomic JSON document in
+    the same store) records each owned task's key, cache key and status
+    after every completion, so a killed shard can simply be re-invoked:
+    finished tasks come back as cache hits and only unfinished ones re-run.
 
     The actual execution of the owned slice is delegated to a
     :class:`SerialExecutor` or :class:`ProcessPoolExecutor` picked from
@@ -341,7 +350,7 @@ class ShardedExecutor(Executor):
         self,
         shard_index: int,
         shard_count: int,
-        manifest_dir: Optional[Path] = None,
+        manifest_dir: Optional[Union[str, Path]] = None,
         max_workers: Optional[int] = None,
     ) -> None:
         if shard_count < 1:
@@ -362,35 +371,54 @@ class ShardedExecutor(Executor):
     def execute(self, plan: ExecutionPlan) -> None:
         if not plan.tasks:
             return
-        cache_dir = _require_cache(plan, "sharded execution")
-        manifest_dir = self.manifest_dir or cache_dir / MANIFEST_DIR_NAME
-        sweep = sweep_id(plan.cache_paths)
-        path = manifest_path(manifest_dir, sweep, self.shard_index, self.shard_count)
+        store = _require_store(plan, "sharded execution")
+        manifest_store = _manifest_store(store, self.manifest_dir)
+        sweep = sweep_id(plan.cache_keys)
+        name = manifest_name(sweep, self.shard_index, self.shard_count)
 
         owned = [i for i in range(len(plan.tasks)) if self.owns(i)]
         pending = [i for i in plan.pending if self.owns(i)]
         pending_set = set(pending)
         records: Dict[int, Dict[str, Any]] = {}
+        blob_path = getattr(store, "blob_path", None)
         for i in owned:
             records[i] = {
                 "index": i,
                 "key": plan.keys[i],
-                "cache_key": plan.cache_paths[i].stem,
-                "cache_path": str(plan.cache_paths[i]),
+                "cache_key": plan.cache_keys[i],
                 "status": "pending" if i in pending_set else "done",
                 "from_cache": i not in pending_set,
                 "wall_clock_seconds": 0.0,
             }
+            if blob_path is not None:  # local-FS convenience for humans
+                records[i]["cache_path"] = str(blob_path(plan.cache_keys[i]))
+
+        # Corruptions quarantined by earlier invocations of this shard
+        # survive manifest rewrites, so a merge reports everything any
+        # shard ever evicted, not just the final probes.  The eviction
+        # removes the blob, so later probes don't re-observe it; the count
+        # is best-effort under concurrency — two shards probing the same
+        # corrupt blob in the same instant may both record it.
+        prior_corruptions = 0
+        try:
+            prior = manifest_store.read_manifest(name)
+        except StoreError:
+            prior = None
+        if prior is not None and prior.get("sweep_id") == sweep:
+            prior_corruptions = int(prior.get("cache_corruptions", 0))
+        corruptions = prior_corruptions + len(plan.corrupt)
 
         def write_manifest() -> None:
-            _atomic_write_json(
-                path,
+            manifest_store.write_manifest(
+                name,
                 {
                     "format": MANIFEST_FORMAT_VERSION,
                     "sweep_id": sweep,
                     "shard_index": self.shard_index,
                     "shard_count": self.shard_count,
                     "total_tasks": len(plan.tasks),
+                    "store": store.url,
+                    "cache_corruptions": corruptions,
                     "tasks": [records[i] for i in owned],
                 },
             )
@@ -432,43 +460,49 @@ class MergeExecutor(Executor):
     single-process run, so the merged result is bit-identical to it.
     """
 
-    def __init__(self, manifest_dir: Optional[Path] = None) -> None:
+    def __init__(self, manifest_dir: Optional[Union[str, Path]] = None) -> None:
         self.manifest_dir = Path(manifest_dir) if manifest_dir is not None else None
 
     # ------------------------------------------------------------------ #
     def _load_manifests(
-        self, manifest_dir: Path, sweep: str
+        self, manifest_store: ResultStore, sweep: str
     ) -> List[Dict[str, Any]]:
-        paths = sorted(manifest_dir.glob(f"{sweep}.shard-*.json"))
-        if not paths:
+        names = manifest_store.list_manifests(prefix=f"{sweep}.shard-")
+        if not names:
             raise ExecutorError(
-                f"no shard manifests for sweep {sweep} under {manifest_dir}; "
+                f"no shard manifests for sweep {sweep} in {manifest_store.url}; "
                 "run the shards first (--shard I/N with the same task list "
-                "and cache dir)"
+                "and result store)"
             )
         manifests = []
-        for path in paths:
+        for name in names:
             try:
-                manifest = json.loads(path.read_text(encoding="utf-8"))
-            except (OSError, ValueError) as exc:
-                raise ExecutorError(f"unreadable shard manifest {path}: {exc}") from exc
+                manifest = manifest_store.read_manifest(name)
+            except StoreError as exc:
+                raise ExecutorError(f"unreadable shard manifest {name}: {exc}") from exc
+            if manifest is None:  # deleted between list and read
+                continue
             if manifest.get("format") != MANIFEST_FORMAT_VERSION:
                 raise ExecutorError(
-                    f"shard manifest {path} has format "
+                    f"shard manifest {name} has format "
                     f"{manifest.get('format')!r}; expected {MANIFEST_FORMAT_VERSION}"
                 )
             if manifest.get("sweep_id") != sweep:
-                raise ExecutorError(f"shard manifest {path} is for another sweep")
+                raise ExecutorError(f"shard manifest {name} is for another sweep")
             manifests.append(manifest)
+        if not manifests:
+            raise ExecutorError(
+                f"no shard manifests for sweep {sweep} in {manifest_store.url}"
+            )
         return manifests
 
     def execute(self, plan: ExecutionPlan) -> None:
         if not plan.tasks:
             return
-        cache_dir = _require_cache(plan, "merging a sharded sweep")
-        manifest_dir = self.manifest_dir or cache_dir / MANIFEST_DIR_NAME
-        sweep = sweep_id(plan.cache_paths)
-        manifests = self._load_manifests(manifest_dir, sweep)
+        store = _require_store(plan, "merging a sharded sweep")
+        manifest_store = _manifest_store(store, self.manifest_dir)
+        sweep = sweep_id(plan.cache_keys)
+        manifests = self._load_manifests(manifest_store, sweep)
 
         counts = {m["shard_count"] for m in manifests}
         if len(counts) != 1:
@@ -515,5 +549,11 @@ class MergeExecutor(Executor):
             missing = [plan.keys[i] for i in plan.pending]
             raise ExecutorError(
                 f"manifests report every shard done but the cache is missing "
-                f"{missing}; was the cache directory pruned or changed?"
+                f"{missing}; was the store pruned or changed?"
             )
+        # Surface what the shards quarantined while they ran, so the merged
+        # result's ``cache_corruptions`` covers the whole fan-out, not just
+        # this process's (clean) probe.
+        shard_corruptions = sum(int(m.get("cache_corruptions", 0)) for m in manifests)
+        if plan.note_corruptions is not None and shard_corruptions:
+            plan.note_corruptions(shard_corruptions)

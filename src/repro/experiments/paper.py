@@ -92,6 +92,7 @@ def table_1_workloads(
     workload_ids: Sequence[int] = (1, 2, 3, 4, 5),
     seed: Optional[int] = None,
     runner: Optional[SweepRunner] = None,
+    store: Optional[object] = None,
 ) -> FigureResult:
     """Table 1: per-workload statistics under static backfill.
 
@@ -101,7 +102,7 @@ def table_1_workloads(
     The per-workload simulations are independent and fan out through the
     sweep runner.
     """
-    runner = runner or SweepRunner()
+    runner = runner or SweepRunner(store=store)
     workloads = {wid: build_workload(wid, scale=scale, seed=seed) for wid in workload_ids}
     sweep = runner.run(
         [
@@ -154,7 +155,10 @@ def table_1_workloads(
 # Table 2
 # --------------------------------------------------------------------- #
 def table_2_application_mix(
-    scale: float = 1.0, seed: int = 5005, runner: Optional[SweepRunner] = None
+    scale: float = 1.0,
+    seed: int = 5005,
+    runner: Optional[SweepRunner] = None,
+    store: Optional[object] = None,
 ) -> FigureResult:
     """Table 2: the application mix assigned to the real-run workload.
 
@@ -165,7 +169,7 @@ def table_2_application_mix(
     from repro.workloads.applications import application_shares
 
     spec = builtin_scenario("table2", scale=scale, seed=seed)
-    outcome = spec.execute(runner=runner)
+    outcome = spec.execute(runner=runner, store=store)
     workload = outcome.workload
     shares = application_shares(workload)
     return FigureResult(
@@ -186,6 +190,7 @@ def figure_1_to_3_maxsd_sweep(
     runtime_model: str = "ideal",
     malleable_fraction: float = 1.0,
     runner: Optional[SweepRunner] = None,
+    store: Optional[object] = None,
 ) -> FigureResult:
     """Figures 1, 2, 3: makespan / response / slowdown vs MAX_SLOWDOWN.
 
@@ -219,7 +224,7 @@ def figure_1_to_3_maxsd_sweep(
         },
         report="figures1-3",
     )
-    outcome = spec.execute(runner=runner, workloads=workload)
+    outcome = spec.execute(runner=runner, workloads=workload, store=store)
     if not outcome.complete:
         return _shard_partial_result("figure1-3", outcome.sweep)
     baseline = outcome.baseline_run
@@ -251,11 +256,12 @@ def _static_sd_scenario(
     max_slowdown: float,
     runtime_model: str,
     runner: Optional[SweepRunner],
+    store: Optional[object] = None,
 ):
     """Run the shared static/SD pair behind Figures 4-6 and Figure 7."""
     spec = builtin_scenario(name, max_slowdown=max_slowdown, runtime_model=runtime_model)
     spec.workloads = [WorkloadRef(name=workload.name)]
-    return spec.execute(runner=runner, workloads=workload)
+    return spec.execute(runner=runner, workloads=workload, store=store)
 
 
 def figure_4_to_6_heatmaps(
@@ -263,10 +269,11 @@ def figure_4_to_6_heatmaps(
     max_slowdown: float = 10.0,
     runtime_model: str = "ideal",
     runner: Optional[SweepRunner] = None,
+    store: Optional[object] = None,
 ) -> FigureResult:
     """Figures 4, 5, 6: static/SD ratio per job category (workload 4)."""
     outcome = _static_sd_scenario(
-        "figure4-6", workload, max_slowdown, runtime_model, runner
+        "figure4-6", workload, max_slowdown, runtime_model, runner, store=store
     )
     if not outcome.complete:
         return _shard_partial_result("figure4-6", outcome.sweep)
@@ -291,10 +298,11 @@ def figure_7_daily_series(
     max_slowdown: float = 10.0,
     runtime_model: str = "ideal",
     runner: Optional[SweepRunner] = None,
+    store: Optional[object] = None,
 ) -> FigureResult:
     """Figure 7: daily average slowdown and malleable-job counts."""
     outcome = _static_sd_scenario(
-        "figure7", workload, max_slowdown, runtime_model, runner
+        "figure7", workload, max_slowdown, runtime_model, runner, store=store
     )
     if not outcome.complete:
         return _shard_partial_result("figure7", outcome.sweep)
@@ -326,6 +334,7 @@ def figure_8_runtime_models(
     max_slowdown: Union[float, str] = "dynamic",
     sharing_factor: float = 0.5,
     runner: Optional[SweepRunner] = None,
+    store: Optional[object] = None,
 ) -> FigureResult:
     """Figure 8: SD-Policy under the ideal vs the worst-case runtime model.
 
@@ -337,7 +346,7 @@ def figure_8_runtime_models(
         "figure8", max_slowdown=max_slowdown, sharing_factor=sharing_factor
     )
     spec.workloads = [WorkloadRef(name=name) for name in workloads]
-    outcome = spec.execute(runner=runner, workloads=workloads)
+    outcome = spec.execute(runner=runner, workloads=workloads, store=store)
     if not outcome.complete:
         return _shard_partial_result("figure8", outcome.sweep)
     per_workload: Dict[str, Dict[str, Dict[str, float]]] = {}
@@ -363,6 +372,7 @@ def figure_9_real_run(
     max_slowdown: Union[float, str] = "dynamic",
     seed: int = 5005,
     runner: Optional[SweepRunner] = None,
+    store: Optional[object] = None,
 ) -> FigureResult:
     """Figure 9: improvements of SD-Policy in the emulated MareNostrum4 run.
 
@@ -378,7 +388,7 @@ def figure_9_real_run(
         sharing_factor=sharing_factor,
         max_slowdown=max_slowdown,
     )
-    outcome = spec.execute(runner=runner)
+    outcome = spec.execute(runner=runner, store=store)
     if not outcome.complete:
         return _shard_partial_result("figure9", outcome.sweep)
     stats = realrun_improvements(outcome)

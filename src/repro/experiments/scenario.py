@@ -434,14 +434,17 @@ class ScenarioSpec:
         self,
         runner: Optional[SweepRunner] = None,
         workloads: Optional[Union[Workload, Mapping[str, Workload]]] = None,
+        store: Optional[Any] = None,
     ) -> "ScenarioOutcome":
         """Run this scenario through the sweep runner.
 
         Convenience wrapper around :func:`run_scenario`; a runner carrying a
         sharded executor runs only its slice of the expanded tasks and
         returns a partial outcome (``outcome.complete`` is ``False``).
+        ``store`` (a :class:`repro.store.ResultStore` or URL) configures the
+        result cache when no explicit runner is passed.
         """
-        return run_scenario(self, runner=runner, workloads=workloads)
+        return run_scenario(self, runner=runner, workloads=workloads, store=store)
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)
@@ -574,6 +577,7 @@ def run_scenario(
     spec: ScenarioSpec,
     runner: Optional[SweepRunner] = None,
     workloads: Optional[Union[Workload, Mapping[str, Workload]]] = None,
+    store: Optional[Any] = None,
 ) -> ScenarioOutcome:
     """Execute a scenario through the parallel sweep runner.
 
@@ -581,12 +585,15 @@ def run_scenario(
     pre-built :class:`Workload` objects — a bare workload for
     single-workload scenarios, or a mapping keyed like the refs.  Cells are
     normalised to their workload's baseline run when the spec has one.
+    ``store`` selects the result-store backend (URL or
+    :class:`repro.store.ResultStore`) when no explicit ``runner`` is given;
+    with both passed the runner — which already carries a store — wins.
     """
     resolved = _resolve_workloads(spec, workloads)
     tasks = spec.tasks(resolved)
     sweep = None
     if tasks:
-        runner = runner or SweepRunner()
+        runner = runner or SweepRunner(store=store)
         sweep = runner.run(tasks)
     if sweep is not None and not sweep.complete:
         # A sharded invocation: only this shard's slice ran, so cells and
@@ -958,6 +965,54 @@ def _spec_figure_9(scale: float = _BENCH_SCALES[5], seed: int = 5005,
     )
 
 
+def _spec_mixed_paper_scale(
+    scale: Optional[float] = None,
+    seed: Optional[int] = None,
+    swf: Optional[str] = None,
+    workload_ids: Sequence[int] = (1, 2, 3, 4),
+) -> ScenarioSpec:
+    """The ROADMAP's paper-scale mixed rigid/malleable (+ SWF replay) study.
+
+    Every Table 1 synthetic workload (and, when ``swf`` is given, a real
+    SWF-log replay) is swept over a rigid/malleable mix × MAX_SLOWDOWN
+    grid and normalised to its own static-backfill baseline.  At the
+    default paper scale this expands to ``len(workloads) × (8 + 1)`` heavy
+    simulations — deliberately sized for sharded fan-out: run it with
+    ``--shard I/N`` against a shared ``--store`` and merge anywhere.
+    """
+    refs = [
+        WorkloadRef(preset=wid, scale=1.0 if scale is None else scale, seed=seed)
+        for wid in workload_ids
+    ]
+    if swf:
+        refs.append(WorkloadRef(swf=swf, name="swf_replay"))
+    return ScenarioSpec(
+        name="mixed_paper_scale",
+        description=(
+            "Paper-scale mixed rigid/malleable sweep over workloads 1-4 "
+            "(plus an optional SWF replay), sized for sharded fan-out"
+        ),
+        workloads=refs,
+        policy="sd_policy",
+        seed=_sim_seed(seed),
+        grid={
+            "malleable_fraction": [
+                {"label": "rigid-75%", "value": 0.25},
+                {"label": "mixed-50/50", "value": 0.5},
+                {"label": "malleable-75%", "value": 0.75},
+                {"label": "malleable-100%", "value": 1.0},
+            ],
+            "max_slowdown": [
+                {"label": "MAXSD 10", "value": 10.0},
+                {"label": "DynAVGSD", "value": "dynamic"},
+            ],
+        },
+        base={"runtime_model": "ideal", "sharing_factor": 0.5},
+        baseline={"policy": "static_backfill", "kwargs": {"runtime_model": "ideal"}},
+        report="table",
+    )
+
+
 def _spec_table_2(scale: float = 1.0, seed: int = 5005) -> ScenarioSpec:
     return ScenarioSpec(
         name="table2",
@@ -986,6 +1041,7 @@ BUILTIN_SCENARIOS: Dict[str, Any] = {
     "figure8": _spec_figure_8,
     "figure9": _spec_figure_9,
     "table2": _spec_table_2,
+    "mixed_paper_scale": _spec_mixed_paper_scale,
 }
 
 

@@ -9,8 +9,10 @@ fans those calls out through a pluggable execution backend
 * a configurable worker count (``REPRO_SWEEP_WORKERS`` or the CPU count),
 * deterministic per-task seeds, so serial, parallel and sharded execution
   produce bit-identical metrics,
-* an optional on-disk result cache keyed by a content hash of the workload
-  and the policy configuration, so re-running a sweep is free,
+* an optional result cache keyed by a content hash of the workload and the
+  policy configuration, held in a pluggable :class:`repro.store.ResultStore`
+  (a local directory, an in-memory store, or a remote S3-compatible object
+  endpoint), so re-running a sweep is free on any machine sharing the store,
 * sharded execution (``executor=ShardedExecutor(i, n)``) that runs one
   deterministic slice per invocation, records a resumable manifest and is
   merged back into a full result by ``executor=MergeExecutor()``,
@@ -28,9 +30,7 @@ from __future__ import annotations
 import hashlib
 import json
 import math
-import os
 import pickle
-import tempfile
 import time
 import re
 from dataclasses import dataclass, field
@@ -61,6 +61,13 @@ from repro.experiments.executors import (
     resolve_worker_count,
 )
 from repro.experiments.runner import PolicyRun
+from repro.store import (
+    LocalFSStore,
+    ResultStore,
+    StoreError,
+    default_cache_dir,
+    resolve_store,
+)
 from repro.workloads.job_record import Workload
 
 __all__ = [
@@ -70,8 +77,10 @@ __all__ = [
     "ExecutorError",
     "MergeExecutor",
     "ProcessPoolExecutor",
+    "ResultStore",
     "SerialExecutor",
     "ShardedExecutor",
+    "StoreError",
     "SweepEntry",
     "SweepError",
     "SweepResult",
@@ -140,7 +149,8 @@ class SweepResult:
     workers: int
     complete: bool = True
     total_tasks: Optional[int] = None
-    #: Corrupt cache files evicted (quarantined) during the cache probe.
+    #: Corrupt cache entries evicted (quarantined) — this invocation's cache
+    #: probe plus, for a merge, the counts every shard manifest reported.
     cache_corruptions: int = 0
 
     def __post_init__(self) -> None:
@@ -265,14 +275,6 @@ def task_cache_key(task: SweepTask) -> str:
     return h.hexdigest()
 
 
-def default_cache_dir() -> Path:
-    """Default on-disk cache location (``REPRO_SWEEP_CACHE_DIR`` overrides)."""
-    env = os.environ.get("REPRO_SWEEP_CACHE_DIR")
-    if env:
-        return Path(env).expanduser()
-    return Path.home() / ".cache" / "repro" / "sweeps"
-
-
 # --------------------------------------------------------------------- #
 # The runner
 # --------------------------------------------------------------------- #
@@ -290,8 +292,9 @@ class SweepRunner:
         there.  ``1`` runs everything in-process (no pool).  An explicit
         value always beats the environment variable.
     cache_dir:
-        Directory for the on-disk result cache.  ``None`` disables caching;
-        the string ``"auto"`` selects :func:`default_cache_dir`.
+        Back-compat spelling for a local-directory result store.  ``None``
+        disables caching; the string ``"auto"`` selects
+        :func:`repro.store.default_cache_dir`.
     progress:
         Optional callback ``progress(done, total, entry)`` invoked after
         every completed task (cache hits included).
@@ -304,6 +307,12 @@ class SweepRunner:
         shard of the sweep, or a
         :class:`~repro.experiments.executors.MergeExecutor` to assemble the
         full result from completed shard manifests.
+    store:
+        Result-store backend: a :class:`repro.store.ResultStore` instance
+        or a URL (``file://…``, ``memory://…``, ``s3+http(s)://…``).  An
+        explicit ``store`` beats ``cache_dir``; with neither set the
+        ``REPRO_STORE_URL`` environment variable applies, and with nothing
+        configured caching is disabled.
     """
 
     def __init__(
@@ -312,55 +321,66 @@ class SweepRunner:
         cache_dir: Optional[Union[str, Path]] = None,
         progress: Optional[Callable[[int, int, SweepEntry], None]] = None,
         executor: Optional[Executor] = None,
+        store: Optional[Union[str, ResultStore]] = None,
     ) -> None:
         self.max_workers = resolve_worker_count(max_workers)
-        if cache_dir == "auto":
-            cache_dir = default_cache_dir()
-        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.store = resolve_store(store, cache_dir)
         self.progress = progress
         self.executor = executor
 
-    # ------------------------------------------------------------------ #
-    # Cache plumbing
-    # ------------------------------------------------------------------ #
-    def _cache_path(self, task: SweepTask) -> Optional[Path]:
-        if self.cache_dir is None:
-            return None
-        return self.cache_dir / f"{task_cache_key(task)}.pkl"
+    @property
+    def cache_dir(self) -> Optional[Path]:
+        """Root directory of a local-FS store (``None`` for other backends)."""
+        return self.store.root if isinstance(self.store, LocalFSStore) else None
 
-    def _cache_load(self, path: Optional[Path]) -> Tuple[Optional[PolicyRun], bool]:
+    # ------------------------------------------------------------------ #
+    # Cache plumbing (all blob/manifest I/O goes through ``self.store``)
+    # ------------------------------------------------------------------ #
+    def _cache_key(self, task: SweepTask) -> Optional[str]:
+        if self.store is None:
+            return None
+        return task_cache_key(task)
+
+    def _cache_path(self, task: SweepTask) -> Optional[Path]:
+        """Local blob path of a task (LocalFS stores only; tests/devtools)."""
+        if isinstance(self.store, LocalFSStore):
+            return self.store.blob_path(task_cache_key(task))
+        return None
+
+    def _cache_load(self, key: Optional[str]) -> Tuple[Optional[PolicyRun], bool]:
         """Load one cache entry; returns ``(run, was_corrupt)``.
 
-        A corrupt file (torn write, truncation, unpicklable garbage) is
-        quarantined to ``<name>.pkl.corrupt`` so it is never retried — one
-        bad entry must not poison every subsequent (sharded) run — and
-        reported distinctly from an ordinary miss.
+        A corrupt blob (torn write, truncation, unpicklable garbage) is
+        quarantined in the store so it is never retried — one bad entry
+        must not poison every subsequent (sharded) run — and reported
+        distinctly from an ordinary miss.  Transport failures
+        (:class:`repro.store.StoreError`) propagate: an unreachable store
+        is not a cache miss.
         """
-        if path is None or not path.exists():
+        if key is None or self.store is None:
+            return None, False
+        data = self.store.get(key)
+        if data is None:
             return None, False
         try:
-            with path.open("rb") as fh:
-                payload = pickle.load(fh)
+            payload = pickle.loads(data)
             if not isinstance(payload, dict):
                 raise TypeError(f"cache payload is {type(payload).__name__}, not dict")
             if payload.get("format") != CACHE_FORMAT_VERSION:
                 return None, False  # stale but well-formed: an ordinary miss
             return payload["run"], False
+        except StoreError:
+            raise
         except Exception:  # corrupt entry: quarantine it and treat as a miss
-            quarantine = path.with_name(path.name + ".corrupt")
             try:
-                os.replace(path, quarantine)
-            except OSError:
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+                self.store.quarantine(key)
+            except StoreError:
+                pass
             return None, True
 
-    def _cache_store(self, path: Optional[Path], task: SweepTask, run: PolicyRun) -> None:
-        if path is None:
+    def _cache_store(self, key: Optional[str], task: SweepTask, run: PolicyRun) -> None:
+        if key is None or self.store is None:
             return
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "format": CACHE_FORMAT_VERSION,
             "key": task.resolved_key(),
@@ -370,18 +390,9 @@ class SweepRunner:
             "workload": task.workload.name,
             "run": run,
         }
-        # Atomic publish so concurrent sweeps never observe a torn entry.
-        fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        # Stores publish atomically, so concurrent sweeps sharing one
+        # backend never observe a torn entry.
+        self.store.put(key, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
 
     # ------------------------------------------------------------------ #
     def run(self, tasks: Sequence[SweepTask]) -> SweepResult:
@@ -403,10 +414,11 @@ class SweepRunner:
         entries: List[Optional[SweepEntry]] = [None] * total
         misses: List[int] = []
         corrupt_indices: List[int] = []
-        cache_paths = [self._cache_path(task) for task in tasks]
+        shard_corruptions: List[int] = [0]
+        cache_keys = [self._cache_key(task) for task in tasks]
 
         for index, task in enumerate(tasks):
-            cached, was_corrupt = self._cache_load(cache_paths[index])
+            cached, was_corrupt = self._cache_load(cache_keys[index])
             if was_corrupt:
                 corrupt_indices.append(index)
             if cached is not None:
@@ -423,7 +435,7 @@ class SweepRunner:
 
         def complete(index: int, run: PolicyRun, elapsed: float) -> None:
             nonlocal done
-            self._cache_store(cache_paths[index], tasks[index], run)
+            self._cache_store(cache_keys[index], tasks[index], run)
             entry = SweepEntry(
                 key=keys[index], run=run, from_cache=False, wall_clock_seconds=elapsed
             )
@@ -432,16 +444,21 @@ class SweepRunner:
             if self.progress is not None:
                 self.progress(done, total, entry)
 
+        def note_corruptions(count: int) -> None:
+            shard_corruptions[0] += count
+
         executor = self.executor or default_executor(self.max_workers, len(misses))
         executor.execute(
             ExecutionPlan(
                 tasks=tasks,
                 keys=keys,
-                cache_paths=cache_paths,
+                cache_keys=cache_keys,
+                store=self.store,
                 pending=misses,
                 complete=complete,
                 max_workers=self.max_workers,
                 corrupt=corrupt_indices,
+                note_corruptions=note_corruptions,
             )
         )
 
@@ -458,5 +475,5 @@ class SweepRunner:
             workers=workers,
             complete=len(finished) == total,
             total_tasks=total,
-            cache_corruptions=len(corrupt_indices),
+            cache_corruptions=len(corrupt_indices) + shard_corruptions[0],
         )

@@ -1,0 +1,117 @@
+"""Pluggable result stores for the sweep subsystem.
+
+A :class:`ResultStore` holds the sweep cache's *blobs* (pickled runs,
+addressed by content-hash key) and *manifests* (atomic JSON shard state).
+Three backends ship:
+
+* :class:`LocalFSStore` — a local/shared directory, byte-compatible with
+  the pre-store ``<cache-dir>/*.pkl`` + ``manifests/`` layout
+  (``file:///shared/cache`` or a bare path);
+* :class:`MemoryStore` — process-local, for tests and dry runs
+  (``memory://name``);
+* :class:`HTTPObjectStore` — any S3-compatible object endpoint over
+  stdlib ``urllib`` (``s3+http://host:port/prefix``,
+  ``s3+https://…``).
+
+:func:`open_store` dispatches a URL to its backend; :func:`resolve_store`
+adds the ``SweepRunner`` conveniences (``cache_dir`` back-compat, the
+``REPRO_STORE_URL`` environment default).  ``repro-sdpolicy store`` exposes
+:mod:`repro.store.tools` (stats / prune / push / pull) and the in-process
+test endpoint of :mod:`repro.store.fake` from the shell.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.store.base import (
+    BLOB_SUFFIX,
+    MANIFEST_PREFIX,
+    MANIFEST_SUFFIX,
+    ObjectStat,
+    QUARANTINE_SUFFIX,
+    ResultStore,
+    StoreError,
+    StoreStats,
+)
+from repro.store.http_store import HTTPObjectStore
+from repro.store.localfs import LocalFSStore, default_cache_dir
+from repro.store.memory import MemoryStore
+from repro.store.tools import MirrorStats, PruneStats, mirror, parse_age, prune
+
+__all__ = [
+    "BLOB_SUFFIX",
+    "MANIFEST_PREFIX",
+    "MANIFEST_SUFFIX",
+    "QUARANTINE_SUFFIX",
+    "HTTPObjectStore",
+    "LocalFSStore",
+    "MemoryStore",
+    "MirrorStats",
+    "ObjectStat",
+    "PruneStats",
+    "ResultStore",
+    "StoreError",
+    "StoreStats",
+    "default_cache_dir",
+    "mirror",
+    "open_store",
+    "parse_age",
+    "prune",
+    "resolve_store",
+]
+
+#: URL schemes accepted by :func:`open_store` (a bare path is file://).
+STORE_SCHEMES = ("file://", "memory://", "s3+http://", "s3+https://")
+
+
+def open_store(url: Union[str, os.PathLike]) -> ResultStore:
+    """Open a result store by URL (``file://``, ``memory://``, ``s3+http(s)://``).
+
+    A plain path (no scheme) is a local directory, so ``--store`` accepts
+    everything ``--cache-dir`` did.  ``file://auto`` and the bare string
+    ``auto`` select :func:`default_cache_dir`.
+    """
+    text = os.fspath(url)
+    if text.startswith("memory://"):
+        return MemoryStore.named(text[len("memory://") :].strip("/") or "default")
+    if text.startswith(("s3+http://", "s3+https://")):
+        return HTTPObjectStore(text)
+    if text.startswith("file://"):
+        text = text[len("file://") :] or "/"
+    elif "://" in text:
+        scheme = text.split("://", 1)[0]
+        raise StoreError(
+            f"unknown store scheme {scheme!r}; expected one of {STORE_SCHEMES} "
+            "or a plain directory path"
+        )
+    if text == "auto":
+        return LocalFSStore(default_cache_dir())
+    return LocalFSStore(Path(text))
+
+
+def resolve_store(
+    store: Optional[Union[str, os.PathLike, ResultStore]] = None,
+    cache_dir: Optional[Union[str, os.PathLike]] = None,
+) -> Optional[ResultStore]:
+    """Resolve ``SweepRunner``'s store/cache-dir configuration to a backend.
+
+    Precedence: an explicit ``store`` (instance or URL) wins; then the
+    back-compat ``cache_dir`` (a directory path, or ``"auto"``); then the
+    ``REPRO_STORE_URL`` environment variable.  All unset means caching is
+    disabled (``None``), exactly as before stores existed.
+    """
+    if store is not None:
+        if isinstance(store, ResultStore):
+            return store
+        return open_store(store)
+    if cache_dir is not None:
+        if cache_dir == "auto":
+            return LocalFSStore(default_cache_dir())
+        return LocalFSStore(Path(cache_dir))
+    env = os.environ.get("REPRO_STORE_URL")
+    if env:
+        return open_store(env)
+    return None

@@ -1,0 +1,229 @@
+"""An in-process S3-compatible object server (tests, CI, local fan-out).
+
+``ObjectStoreServer`` is a :mod:`http.server`-based endpoint implementing
+exactly the protocol :class:`repro.store.http_store.HTTPObjectStore`
+speaks: ``GET``/``PUT``/``HEAD``/``DELETE`` on object paths and the S3 v2
+listing (``GET /?list-type=2&prefix=…`` → ``ListBucketResult`` XML).
+Objects live in one process-wide dict guarded by a lock, so a server
+started once serves shard, merge and mirror commands alike.
+
+Tests use the :class:`ObjectStoreServer` context manager for an ephemeral
+port; ``repro-sdpolicy store serve`` (and ``python -m repro.store.fake``)
+runs a blocking instance so CI can exercise the multi-machine recipe
+against ``s3+http://127.0.0.1:<port>/…`` without any external service.
+"""
+
+from __future__ import annotations
+
+import argparse
+import threading
+import time
+from email.utils import formatdate
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Sequence, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
+from xml.sax.saxutils import escape
+
+
+class _ObjectState:
+    """The shared object map of one server instance."""
+
+    def __init__(self) -> None:
+        self.objects: Dict[str, Tuple[bytes, float]] = {}
+        self.lock = threading.Lock()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "ReproObjectStore/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # The state is attached to the server object by ObjectStoreServer.
+    @property
+    def _state(self) -> _ObjectState:
+        return self.server.state  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------ #
+    def _object_name(self) -> str:
+        return unquote(urlsplit(self.path).path).lstrip("/")
+
+    def _reply(
+        self, status: int, body: bytes = b"", headers: Optional[Dict[str, str]] = None
+    ) -> None:
+        self.send_response(status)
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        if self.command != "HEAD":
+            self.wfile.write(body)
+
+    def _list(self, prefix: str, token: str) -> None:
+        page_size = getattr(self.server, "page_size", 1000)
+        with self._state.lock:
+            keys = sorted(k for k in self._state.objects if k.startswith(prefix))
+        if token:  # continuation token: the last key of the previous page
+            keys = [k for k in keys if k > token]
+        page, rest = keys[:page_size], keys[page_size:]
+        contents = "".join(
+            f"<Contents><Key>{escape(key)}</Key></Contents>" for key in page
+        )
+        truncation = f"<IsTruncated>{'true' if rest else 'false'}</IsTruncated>"
+        if rest:
+            truncation += (
+                f"<NextContinuationToken>{escape(page[-1])}</NextContinuationToken>"
+            )
+        body = (
+            '<?xml version="1.0" encoding="UTF-8"?>'
+            f"<ListBucketResult><Prefix>{escape(prefix)}</Prefix>"
+            f"<KeyCount>{len(page)}</KeyCount>{truncation}{contents}"
+            "</ListBucketResult>"
+        ).encode("utf-8")
+        self._reply(200, body, {"Content-Type": "application/xml"})
+
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        split = urlsplit(self.path)
+        query = parse_qs(split.query)
+        if "list-type" in query:
+            self._list(
+                query.get("prefix", [""])[0],
+                query.get("continuation-token", [""])[0],
+            )
+            return
+        name = self._object_name()
+        with self._state.lock:
+            entry = self._state.objects.get(name)
+        if entry is None:
+            self._reply(404)
+            return
+        data, mtime = entry
+        self._reply(
+            200,
+            data,
+            {
+                "Content-Type": "application/octet-stream",
+                "Last-Modified": formatdate(mtime, usegmt=True),
+            },
+        )
+
+    def do_HEAD(self) -> None:  # noqa: N802
+        name = self._object_name()
+        with self._state.lock:
+            entry = self._state.objects.get(name)
+        if entry is None:
+            self._reply(404)
+            return
+        data, mtime = entry
+        self._reply(
+            200, data, {"Last-Modified": formatdate(mtime, usegmt=True)}
+        )
+
+    def do_PUT(self) -> None:  # noqa: N802
+        name = self._object_name()
+        if not name:
+            self._reply(400)
+            return
+        length = int(self.headers.get("Content-Length", 0))
+        data = self.rfile.read(length) if length else b""
+        with self._state.lock:
+            self._state.objects[name] = (data, time.time())
+        self._reply(200)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        name = self._object_name()
+        with self._state.lock:
+            existed = self._state.objects.pop(name, None) is not None
+        self._reply(204 if existed else 404)
+
+
+class ObjectStoreServer:
+    """A threaded in-process object endpoint (context manager).
+
+    >>> with ObjectStoreServer() as server:
+    ...     store = open_store(server.store_url("bucket"))
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+        page_size: int = 1000,
+    ) -> None:
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._server.state = _ObjectState()  # type: ignore[attr-defined]
+        self._server.verbose = verbose  # type: ignore[attr-defined]
+        self._server.page_size = page_size  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    def store_url(self, prefix: str = "") -> str:
+        """The ``s3+http://`` URL clients should use (optional key prefix)."""
+        url = f"s3+http://{self.host}:{self.port}"
+        return f"{url}/{prefix.strip('/')}" if prefix.strip("/") else url
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ObjectStoreServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="repro-object-store", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    def serve_forever(self) -> None:
+        """Run in the calling thread (the ``store serve`` command)."""
+        try:
+            self._server.serve_forever()
+        finally:
+            self._server.server_close()
+
+    def __enter__(self) -> "ObjectStoreServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Blocking entry point: ``python -m repro.store.fake --port 9317``."""
+    parser = argparse.ArgumentParser(
+        description="In-process S3-compatible object store (testing/CI only: "
+        "no auth, no persistence)."
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9317)
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    server = ObjectStoreServer(host=args.host, port=args.port, verbose=args.verbose)
+    print(
+        f"serving object store on {server.store_url()} (in-memory, Ctrl-C to stop)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,170 @@
+"""S3-compatible HTTP object-store backend (stdlib only).
+
+``HTTPObjectStore`` speaks plain object semantics against any endpoint that
+accepts ``GET``/``PUT``/``HEAD``/``DELETE`` on object URLs and answers the
+S3 ``GET /?list-type=2&prefix=…`` listing with a ``ListBucketResult`` XML
+document — MinIO, an S3 bucket behind a signing proxy, or the in-process
+test fake in :mod:`repro.store.fake`.  The client is deliberately
+stdlib-``urllib`` only (no boto, no requests): this repo's container images
+stay dependency-free and the protocol surface the sweep subsystem needs is
+four verbs and a list.
+
+URLs use the ``s3+http://`` / ``s3+https://`` schemes; everything after the
+authority is a key prefix (the "bucket/path"), so several sweeps can share
+one endpoint::
+
+    s3+http://127.0.0.1:9000/repro-sweeps/projectA
+
+Unauthenticated endpoints only — credential signing (SigV4) is out of
+scope; front a real bucket with a signing proxy.  Listings follow the
+``IsTruncated``/``NextContinuationToken`` pagination protocol, so caches
+beyond one page (1000 keys on real S3) enumerate completely.
+"""
+
+from __future__ import annotations
+
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+import xml.etree.ElementTree as ET
+from email.utils import parsedate_to_datetime
+from typing import List, Optional, Tuple
+
+from repro.store.base import ObjectStat, ResultStore, StoreError
+
+#: Transient failures are retried this many times with a short backoff.
+DEFAULT_RETRIES = 2
+
+_SCHEMES = {"s3+http": "http", "s3+https": "https"}
+
+
+class HTTPObjectStore(ResultStore):
+    """Result store over an S3-compatible HTTP object endpoint."""
+
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 30.0,
+        retries: int = DEFAULT_RETRIES,
+    ) -> None:
+        parsed = urllib.parse.urlsplit(url)
+        if parsed.scheme not in _SCHEMES:
+            raise StoreError(
+                f"HTTPObjectStore needs an s3+http(s):// URL, got {url!r}"
+            )
+        if not parsed.netloc:
+            raise StoreError(f"object-store URL {url!r} has no host")
+        self.url = url.rstrip("/")
+        self.base = f"{_SCHEMES[parsed.scheme]}://{parsed.netloc}"
+        prefix = parsed.path.strip("/")
+        self.prefix = prefix + "/" if prefix else ""
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+
+    # ------------------------------------------------------------------ #
+    def _object_url(self, name: str) -> str:
+        return f"{self.base}/{urllib.parse.quote(self.prefix + name, safe='/')}"
+
+    def _request(
+        self,
+        method: str,
+        url: str,
+        data: Optional[bytes] = None,
+    ) -> Optional[Tuple[bytes, dict]]:
+        """One HTTP round-trip; ``None`` on 404, StoreError otherwise."""
+        last_exc: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(url, data=data, method=method)
+            if data is not None:
+                request.add_header("Content-Type", "application/octet-stream")
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                    return resp.read(), dict(resp.headers)
+            except urllib.error.HTTPError as exc:
+                if exc.code == 404:
+                    return None
+                # 5xx may be transient; 4xx (other than 404) never is.
+                if exc.code < 500 or attempt == self.retries:
+                    raise StoreError(
+                        f"{method} {url} failed: HTTP {exc.code} {exc.reason}"
+                    ) from exc
+                last_exc = exc
+            except (urllib.error.URLError, OSError, TimeoutError) as exc:
+                if attempt == self.retries:
+                    raise StoreError(f"{method} {url} failed: {exc}") from exc
+                last_exc = exc
+            time.sleep(0.1 * (attempt + 1))
+        raise StoreError(f"{method} {url} failed: {last_exc}")  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+    def _read(self, name: str) -> Optional[bytes]:
+        response = self._request("GET", self._object_url(name))
+        return response[0] if response is not None else None
+
+    def _write(self, name: str, data: bytes) -> None:
+        if self._request("PUT", self._object_url(name), data=bytes(data)) is None:
+            raise StoreError(f"PUT {self._object_url(name)} answered 404")
+
+    def _delete(self, name: str) -> bool:
+        return self._request("DELETE", self._object_url(name)) is not None
+
+    def _stat(self, name: str) -> Optional[ObjectStat]:
+        response = self._request("HEAD", self._object_url(name))
+        if response is None:
+            return None
+        _, headers = response
+        headers = {k.lower(): v for k, v in headers.items()}
+        try:
+            size = int(headers.get("content-length", 0))
+        except ValueError:
+            size = 0
+        mtime: Optional[float] = None
+        modified = headers.get("last-modified")
+        if modified:
+            try:
+                mtime = parsedate_to_datetime(modified).timestamp()
+            except (TypeError, ValueError):
+                mtime = None
+        return ObjectStat(size=size, mtime=mtime)
+
+    def _names(self, prefix: str = "") -> List[str]:
+        names: List[str] = []
+        token: Optional[str] = None
+        while True:
+            params = {"list-type": "2", "prefix": self.prefix + prefix}
+            if token:
+                params["continuation-token"] = token
+            response = self._request(
+                "GET", f"{self.base}/?{urllib.parse.urlencode(params)}"
+            )
+            if response is None:
+                raise StoreError(f"list on {self.base} answered 404")
+            body, _ = response
+            try:
+                root = ET.fromstring(body)
+            except ET.ParseError as exc:
+                raise StoreError(
+                    f"list on {self.base} returned invalid XML: {exc}"
+                ) from exc
+            truncated = False
+            token = None
+            # Both namespaced (real S3) and bare (the fake) documents are fine.
+            for element in root.iter():
+                tag = element.tag.rsplit("}", 1)[-1]
+                if tag == "Key" and element.text:
+                    key = element.text
+                    if key.startswith(self.prefix):
+                        names.append(key[len(self.prefix) :])
+                elif tag == "IsTruncated":
+                    truncated = (element.text or "").strip().lower() == "true"
+                elif tag == "NextContinuationToken":
+                    token = (element.text or "").strip() or None
+            if not truncated:
+                break
+            if token is None:
+                raise StoreError(
+                    f"list on {self.base} is truncated but carries no "
+                    "NextContinuationToken; refusing a partial listing"
+                )
+        return sorted(names)

@@ -1,0 +1,153 @@
+"""Local-filesystem result store: the historical ``<cache-dir>`` layout.
+
+``LocalFSStore(root)`` is byte-compatible with caches written before the
+store subsystem existed: blobs live as ``<root>/<key>.pkl``, shard manifests
+as ``<root>/manifests/<name>.json`` and quarantined blobs as
+``<root>/<key>.pkl.corrupt``.  Writes publish atomically (``mkstemp`` +
+``os.replace``), so concurrent sweeps sharing one directory never observe a
+torn entry, and quarantine is a single rename.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.store.base import (
+    BLOB_SUFFIX,
+    MANIFEST_PREFIX,
+    ObjectStat,
+    QUARANTINE_SUFFIX,
+    ResultStore,
+    StoreError,
+)
+
+
+def default_cache_dir() -> Path:
+    """Default on-disk cache location.
+
+    ``REPRO_SWEEP_CACHE_DIR`` wins outright; otherwise the XDG base
+    directory spec is honoured (``$XDG_CACHE_HOME/repro/sweeps``) before
+    falling back to ``~/.cache/repro/sweeps``.
+    """
+    env = os.environ.get("REPRO_SWEEP_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    if xdg:
+        return Path(xdg).expanduser() / "repro" / "sweeps"
+    return Path.home() / ".cache" / "repro" / "sweeps"
+
+
+class LocalFSStore(ResultStore):
+    """Result store over a local directory (or any mounted shared FS).
+
+    Parameters
+    ----------
+    root:
+        The cache directory; created lazily on first write.
+    manifest_dir:
+        Optional override for the manifest directory (the CLI's
+        ``--manifest DIR``); defaults to ``<root>/manifests``.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, os.PathLike],
+        manifest_dir: Optional[Union[str, os.PathLike]] = None,
+    ) -> None:
+        self.root = Path(root).expanduser()
+        self.manifest_dir = (
+            Path(manifest_dir).expanduser()
+            if manifest_dir is not None
+            else self.root / MANIFEST_PREFIX.rstrip("/")
+        )
+        self.url = f"file://{self.root}"
+
+    # ------------------------------------------------------------------ #
+    def _path(self, name: str) -> Path:
+        if name.startswith(MANIFEST_PREFIX):
+            return self.manifest_dir / name[len(MANIFEST_PREFIX) :]
+        return self.root / name
+
+    def blob_path(self, key: str) -> Path:
+        """Local path of one blob (introspection/tests; LocalFS only)."""
+        return self.root / (key + BLOB_SUFFIX)
+
+    # ------------------------------------------------------------------ #
+    def _read(self, name: str) -> Optional[bytes]:
+        try:
+            return self._path(name).read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise StoreError(f"cannot read {name!r} from {self.url}: {exc}") from exc
+
+    def _write(self, name: str, data: bytes) -> None:
+        path = self._path(name)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        except OSError as exc:
+            raise StoreError(f"cannot write {name!r} to {self.url}: {exc}") from exc
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp_name, path)
+        except BaseException as exc:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            if isinstance(exc, OSError):  # ENOSPC, EACCES… keep the contract
+                raise StoreError(
+                    f"cannot write {name!r} to {self.url}: {exc}"
+                ) from exc
+            raise
+
+    def _delete(self, name: str) -> bool:
+        try:
+            self._path(name).unlink()
+            return True
+        except FileNotFoundError:
+            return False
+        except OSError as exc:
+            raise StoreError(f"cannot delete {name!r} from {self.url}: {exc}") from exc
+
+    def _names(self, prefix: str = "") -> List[str]:
+        names: List[str] = []
+        if self.root.is_dir():
+            names.extend(p.name for p in self.root.iterdir() if p.is_file())
+        if self.manifest_dir.is_dir():
+            names.extend(
+                MANIFEST_PREFIX + p.name
+                for p in self.manifest_dir.iterdir()
+                if p.is_file()
+            )
+        return sorted(name for name in names if name.startswith(prefix))
+
+    def _stat(self, name: str) -> Optional[ObjectStat]:
+        try:
+            st = self._path(name).stat()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise StoreError(f"cannot stat {name!r} in {self.url}: {exc}") from exc
+        return ObjectStat(size=st.st_size, mtime=st.st_mtime)
+
+    # ------------------------------------------------------------------ #
+    def quarantine(self, key: str) -> None:
+        """Rename the blob aside atomically (falls back to deletion)."""
+        path = self.blob_path(key)
+        quarantined = path.with_name(path.name + QUARANTINE_SUFFIX)
+        try:
+            os.replace(path, quarantined)
+        except FileNotFoundError:
+            pass
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass

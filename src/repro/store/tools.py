@@ -1,0 +1,131 @@
+"""Store maintenance operations behind ``repro-sdpolicy store``.
+
+``mirror`` copies one store into another (push/pull between a laptop cache
+and a remote object store); ``prune`` evicts blobs older than a cutoff.
+Both are backend-agnostic: they only use the :class:`repro.store.base
+.ResultStore` protocol, so any pairing of local, memory and HTTP stores
+works.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.store.base import ResultStore
+
+_AGE_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*([smhdw]?)\s*$", re.IGNORECASE)
+
+_AGE_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+
+
+def parse_age(value: str) -> float:
+    """Parse a human age (``90s``, ``45m``, ``12h``, ``30d``, ``2w``) to seconds.
+
+    A bare number means days — ``--older-than 30`` is thirty days, the
+    natural unit for cache retention.
+    """
+    match = _AGE_RE.match(str(value))
+    if not match:
+        raise ValueError(
+            f"invalid age {value!r}: expected <number>[s|m|h|d|w], e.g. 30d"
+        )
+    number, unit = match.groups()
+    return float(number) * _AGE_UNITS[unit.lower() or "d"]
+
+
+@dataclass
+class MirrorStats:
+    """Outcome of one :func:`mirror` call."""
+
+    blobs_copied: int = 0
+    blobs_skipped: int = 0
+    blob_bytes_copied: int = 0
+    manifests_copied: int = 0
+
+
+def mirror(
+    source: ResultStore,
+    target: ResultStore,
+    overwrite: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> MirrorStats:
+    """Copy every blob and manifest of ``source`` into ``target``.
+
+    Blobs are content-addressed (the key *is* the content hash), so an
+    existing target blob is skipped unless ``overwrite`` is set; manifests
+    are mutable shard state and always overwritten with the source copy.
+    """
+    stats = MirrorStats()
+    # One listing instead of a per-key exists() probe: a remote target
+    # would otherwise cost one HEAD round-trip per blob.
+    present = set() if overwrite else set(target.list())
+    for key in source.list():
+        if key in present:
+            stats.blobs_skipped += 1
+            continue
+        data = source.get(key)
+        if data is None:  # deleted between list and get
+            continue
+        target.put(key, data)
+        stats.blobs_copied += 1
+        stats.blob_bytes_copied += len(data)
+        if progress is not None:
+            progress(f"blob {key}")
+    for name in source.list_manifests():
+        payload = source.read_manifest(name)
+        if payload is None:
+            continue
+        target.write_manifest(name, payload)
+        stats.manifests_copied += 1
+        if progress is not None:
+            progress(f"manifest {name}")
+    return stats
+
+
+@dataclass
+class PruneStats:
+    """Outcome of one :func:`prune` call."""
+
+    blobs_removed: int = 0
+    blob_bytes_freed: int = 0
+    quarantined_removed: int = 0
+    kept: int = 0
+    unknown_age: int = 0
+
+
+def prune(
+    store: ResultStore,
+    older_than_seconds: float,
+    now: Optional[float] = None,
+    dry_run: bool = False,
+) -> PruneStats:
+    """Delete blobs older than the cutoff; quarantined blobs always go.
+
+    Blobs without a modification time (a backend that cannot report one)
+    are never deleted — pruning must not guess.  Quarantined entries are
+    corrupt by definition and removed regardless of age.  Manifests are
+    left alone: they are tiny and a merge needs them after the blobs are
+    long gone.
+    """
+    cutoff = (time.time() if now is None else now) - older_than_seconds
+    stats = PruneStats()
+    for key in store.list():
+        stat = store.stat(key)
+        if stat is None or stat.mtime is None:
+            stats.unknown_age += 1
+            continue
+        if stat.mtime < cutoff:
+            if not dry_run:
+                store.delete(key)
+            stats.blobs_removed += 1
+            stats.blob_bytes_freed += stat.size
+        else:
+            stats.kept += 1
+    for key in store.list_quarantined():
+        if not dry_run:
+            store.delete_quarantined(key)
+        stats.quarantined_removed += 1
+    return stats

@@ -261,10 +261,12 @@ class TestResume:
         with pytest.raises(ExecutorError, match="cache is missing"):
             runner.run(tasks)
 
-    def test_sweep_id_ignores_shard_count(self, tasks, tmp_path):
-        paths = [Path(tmp_path, f"{k}.pkl") for k in "abc"]
-        assert sweep_id(paths) == sweep_id(list(paths))
-        assert sweep_id(paths) != sweep_id(paths[::-1])
+    def test_sweep_id_is_order_sensitive_and_store_agnostic(self):
+        keys = ["a", "b", "c"]
+        assert sweep_id(keys) == sweep_id(list(keys))
+        assert sweep_id(keys) != sweep_id(keys[::-1])
+        with pytest.raises(ExecutorError, match="result store"):
+            sweep_id(["a", None, "c"])
 
 
 class TestInterruptAndFailureCleanup:
@@ -346,7 +348,7 @@ class TestInterruptAndFailureCleanup:
         assert pickles
         probe = SweepRunner(max_workers=1, cache_dir=cache)
         for path in pickles:
-            run, corrupt = probe._cache_load(path)
+            run, corrupt = probe._cache_load(path.stem)
             assert run is not None and not corrupt, f"torn cache entry {path.name}"
 
 

@@ -323,3 +323,73 @@ class TestWorkloadRef:
     def test_preset_and_swf_mutually_exclusive(self):
         with pytest.raises(ScenarioError, match="mutually exclusive"):
             WorkloadRef(preset=1, swf="x.swf").build()
+
+
+class TestMixedPaperScale:
+    """The ROADMAP's paper-scale mixed rigid/malleable + SWF-replay study
+    (`mixed_paper_scale`): a built-in sized for sharded fan-out."""
+
+    def test_builtin_expands_the_full_grid(self):
+        spec = builtin_scenario("mixed_paper_scale")
+        assert [ref.preset for ref in spec.workloads] == [1, 2, 3, 4]
+        assert all(ref.scale == 1.0 for ref in spec.workloads)  # paper scale
+        cells = spec.cells()
+        assert len(cells) == 8  # 4 malleable fractions x 2 MAXSD settings
+        fractions = {params["malleable_fraction"] for _, _, params in cells}
+        assert fractions == {0.25, 0.5, 0.75, 1.0}
+        assert spec.baseline is not None
+
+    def test_swf_override_adds_a_replay_ref(self, tmp_path, tiny_workload):
+        from repro.workloads.swf import write_swf
+
+        swf = tmp_path / "replay.swf"
+        write_swf(tiny_workload, swf)
+        spec = builtin_scenario("mixed_paper_scale", swf=str(swf))
+        assert spec.workloads[-1].key() == "swf_replay"
+        assert spec.workloads[-1].swf == str(swf)
+
+    def test_example_spec_round_trips(self):
+        from pathlib import Path
+
+        path = Path(__file__).resolve().parent.parent / "examples" / "mixed_paper_scale.json"
+        spec = load_spec(path)
+        assert spec.name == "mixed_paper_scale"
+        assert spec.report == "table"
+        assert [ref.key() for ref in spec.workloads] == [
+            "workload1", "workload2", "workload3", "workload4", "swf_replay",
+        ]
+        # The referenced sample log ships with the repo and parses.
+        swf = path.parent / "sample.swf"
+        assert swf.is_file()
+        ref = spec.workloads[-1]
+        assert ref.swf == "examples/sample.swf"
+        assert spec.to_dict() == load_spec(path).to_dict()
+
+    def test_sharded_run_and_merge_through_a_store(self, tmp_path, tiny_workload):
+        """A scaled-down instance fans out across 2 shards against a shared
+        store and merges into a full report."""
+        from repro.experiments.sweep import MergeExecutor, ShardedExecutor
+        from repro.workloads.swf import write_swf
+
+        swf = tmp_path / "replay.swf"
+        write_swf(tiny_workload, swf)
+        spec = builtin_scenario(
+            "mixed_paper_scale", scale=0.01, seed=3, swf=str(swf), workload_ids=(3,)
+        )
+        store = f"file://{tmp_path / 'store'}"
+        for i in range(2):
+            partial = spec.execute(
+                runner=SweepRunner(
+                    max_workers=1, store=store, executor=ShardedExecutor(i, 2)
+                )
+            )
+            assert not partial.complete or i == 1
+        merged = spec.execute(
+            runner=SweepRunner(max_workers=1, store=store, executor=MergeExecutor())
+        )
+        assert merged.complete
+        assert {c.workload_key for c in merged.cells} == {"workload3", "swf_replay"}
+        assert len(merged.cells) == 16  # 2 workloads x 8 grid cells
+        report = render_report(merged)
+        assert "Scenario mixed_paper_scale" in report
+        assert "Normalised to static_backfill" in report

@@ -1,0 +1,524 @@
+"""Tests for the pluggable result-store subsystem (:mod:`repro.store`).
+
+The heart of this module is a backend-interchangeability suite: every test
+parametrised over ``store_url`` runs identically against a local directory
+(:class:`LocalFSStore`), the in-process :class:`MemoryStore` and an
+:class:`HTTPObjectStore` talking to the in-process S3-compatible fake — the
+same sweep must yield byte-identical results through all three, including
+shard → merge round-trips and corrupt-blob quarantine.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.executors import MergeExecutor, ShardedExecutor
+from repro.experiments.sweep import SweepRunner, SweepTask, task_cache_key
+from repro.store import (
+    HTTPObjectStore,
+    LocalFSStore,
+    MemoryStore,
+    StoreError,
+    default_cache_dir,
+    mirror,
+    open_store,
+    parse_age,
+    prune,
+    resolve_store,
+)
+from repro.store.fake import ObjectStoreServer
+from repro.workloads.cirne import CirneWorkloadModel
+
+BACKENDS = ("localfs", "memory", "http")
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ObjectStoreServer() as srv:
+        yield srv
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"\W+", "-", text).strip("-")[-80:]
+
+
+@pytest.fixture(params=BACKENDS)
+def store_url(request, tmp_path, server):
+    """A fresh store URL per test, for every backend."""
+    slug = _slug(request.node.nodeid)
+    if request.param == "localfs":
+        yield f"file://{tmp_path / 'store'}"
+    elif request.param == "memory":
+        yield f"memory://{slug}"
+        MemoryStore.reset(slug)
+    else:
+        yield server.store_url(slug)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return CirneWorkloadModel(
+        num_jobs=40, system_nodes=16, cpus_per_node=8, max_job_nodes=8,
+        target_load=1.0, median_runtime_s=1800.0, seed=11, name="store_test",
+    ).generate()
+
+
+@pytest.fixture(scope="module")
+def tasks(workload):
+    """Five tasks so a 2-way shard split is uneven (3 + 2)."""
+    maxsd = [
+        SweepTask(
+            workload=workload, policy="sd_policy", key=f"MAXSD {m}", seed=0,
+            kwargs={"runtime_model": "ideal", "max_slowdown": float(m),
+                    "sharing_factor": 0.5},
+        )
+        for m in (5, 10, 50, 100)
+    ]
+    return [
+        SweepTask(workload=workload, policy="static_backfill", key="static",
+                  seed=0, kwargs={"runtime_model": "ideal"})
+    ] + maxsd
+
+
+@pytest.fixture(scope="module")
+def golden(tasks):
+    """The uncached single-process result every backend must reproduce."""
+    return SweepRunner(max_workers=1).run(tasks)
+
+
+def _run_bytes(result):
+    """Canonical pickle bytes per run, with the one legitimately
+    non-deterministic field (the run's own wall-clock timing) zeroed."""
+    out = {}
+    for entry in result.entries:
+        clone = pickle.loads(pickle.dumps(entry.run))
+        clone.wall_clock_seconds = 0.0
+        out[entry.key] = pickle.dumps(clone)
+    return out
+
+
+# --------------------------------------------------------------------- #
+# Protocol semantics, per backend
+# --------------------------------------------------------------------- #
+class TestProtocol:
+    def test_blob_roundtrip(self, store_url):
+        store = open_store(store_url)
+        assert store.get("k1") is None
+        assert not store.exists("k1")
+        store.put("k1", b"payload")
+        assert store.get("k1") == b"payload"
+        assert store.exists("k1")
+        store.put("k1", b"replaced")  # overwrite is an atomic replace
+        assert store.get("k1") == b"replaced"
+        assert store.list() == ["k1"]
+        assert store.delete("k1") is True
+        assert store.delete("k1") is False
+        assert store.list() == []
+
+    def test_list_filters_by_prefix(self, store_url):
+        store = open_store(store_url)
+        for key in ("aa1", "aa2", "bb1"):
+            store.put(key, b"x")
+        assert store.list("aa") == ["aa1", "aa2"]
+        assert store.list() == ["aa1", "aa2", "bb1"]
+
+    def test_manifest_roundtrip(self, store_url):
+        store = open_store(store_url)
+        assert store.read_manifest("m1") is None
+        store.write_manifest("m1", {"shard": 1, "tasks": ["a", "b"]})
+        assert store.read_manifest("m1") == {"shard": 1, "tasks": ["a", "b"]}
+        store.write_manifest("m2", {"shard": 2})
+        assert store.list_manifests() == ["m1", "m2"]
+        assert store.list_manifests("m1") == ["m1"]
+        assert store.delete_manifest("m1") is True
+        assert store.list_manifests() == ["m2"]
+
+    def test_manifests_do_not_leak_into_blob_namespace(self, store_url):
+        store = open_store(store_url)
+        store.put("blob", b"x")
+        store.write_manifest("doc", {"a": 1})
+        assert store.list() == ["blob"]
+        assert store.list_manifests() == ["doc"]
+
+    def test_quarantine_moves_blob_aside(self, store_url):
+        store = open_store(store_url)
+        store.put("bad", b"garbage")
+        store.quarantine("bad")
+        assert store.get("bad") is None
+        assert store.list() == []
+        assert store.list_quarantined() == ["bad"]
+        assert store.delete_quarantined("bad") is True
+        assert store.list_quarantined() == []
+
+    def test_stat_and_stats(self, store_url):
+        store = open_store(store_url)
+        store.put("k", b"12345")
+        store.write_manifest("m", {"a": 1})
+        stat = store.stat("k")
+        assert stat is not None and stat.size == 5
+        assert store.stat("missing") is None
+        stats = store.stats()
+        assert stats.blobs == 1 and stats.blob_bytes == 5
+        assert stats.manifests == 1 and stats.manifest_bytes > 0
+        assert stats.quarantined == 0
+
+    def test_same_url_sees_same_objects(self, store_url):
+        open_store(store_url).put("shared", b"v")
+        assert open_store(store_url).get("shared") == b"v"
+
+
+# --------------------------------------------------------------------- #
+# Backend interchangeability for sweeps
+# --------------------------------------------------------------------- #
+class TestSweepInterchangeability:
+    def test_sweep_is_byte_identical_through_every_backend(
+        self, store_url, tasks, golden
+    ):
+        first = SweepRunner(max_workers=1, store=store_url).run(tasks)
+        assert first.cache_hits == 0
+        second = SweepRunner(max_workers=1, store=store_url).run(tasks)
+        assert second.cache_hits == len(tasks)
+        assert _run_bytes(first) == _run_bytes(golden)
+        assert _run_bytes(second) == _run_bytes(golden)
+
+    def test_shard_merge_round_trip_is_byte_identical(
+        self, store_url, tasks, golden
+    ):
+        for i in range(2):
+            partial = SweepRunner(
+                max_workers=1, store=store_url, executor=ShardedExecutor(i, 2)
+            ).run(tasks)
+            assert not partial.complete or i == 1
+        merged = SweepRunner(
+            max_workers=1, store=store_url, executor=MergeExecutor()
+        ).run(tasks)
+        assert merged.complete
+        assert [e.key for e in merged.entries] == [t.resolved_key() for t in tasks]
+        assert _run_bytes(merged) == _run_bytes(golden)
+        store = open_store(store_url)
+        assert len(store.list()) == len(tasks)
+        assert len(store.list_manifests()) == 2
+
+    def test_corrupt_blob_is_quarantined_and_recomputed(
+        self, store_url, tasks, golden
+    ):
+        SweepRunner(max_workers=1, store=store_url).run(tasks)
+        store = open_store(store_url)
+        victim = task_cache_key(tasks[0])
+        store.put(victim, b"\x80\x04 torn write")
+        result = SweepRunner(max_workers=1, store=store_url).run(tasks)
+        assert result.cache_hits == len(tasks) - 1
+        assert result.cache_corruptions == 1
+        assert store.list_quarantined() == [victim]
+        assert _run_bytes(result) == _run_bytes(golden)
+        # The rewrite healed the entry: no corruption on the next pass.
+        third = SweepRunner(max_workers=1, store=store_url).run(tasks)
+        assert third.cache_hits == len(tasks)
+        assert third.cache_corruptions == 0
+
+    def test_merge_reports_corruptions_quarantined_by_shards(
+        self, store_url, tasks
+    ):
+        """A merged result's ``cache_corruptions`` covers what *any* shard
+        evicted, not just the merging process's own (clean) probe."""
+        for i in range(2):
+            SweepRunner(
+                max_workers=1, store=store_url, executor=ShardedExecutor(i, 2)
+            ).run(tasks)
+        store = open_store(store_url)
+        victim = task_cache_key(tasks[0])  # owned by shard 0
+        store.put(victim, b"not a pickle")
+        # Shard 0 reruns: quarantines the torn entry, recomputes the task
+        # and records the eviction in its manifest.
+        rerun = SweepRunner(
+            max_workers=1, store=store_url, executor=ShardedExecutor(0, 2)
+        ).run(tasks)
+        assert rerun.cache_corruptions == 1
+        merged = SweepRunner(
+            max_workers=1, store=store_url, executor=MergeExecutor()
+        ).run(tasks)
+        assert merged.complete
+        assert merged.cache_corruptions == 1
+
+    def test_resume_after_lost_blob_reruns_only_that_task(self, store_url, tasks):
+        runner = SweepRunner(
+            max_workers=1, store=store_url, executor=ShardedExecutor(0, 2)
+        )
+        runner.run(tasks)
+        store = open_store(store_url)
+        owned = [t for i, t in enumerate(tasks) if i % 2 == 0]
+        lost = owned[1]
+        assert store.delete(task_cache_key(lost))
+        events = []
+        SweepRunner(
+            max_workers=1, store=store_url, executor=ShardedExecutor(0, 2),
+            progress=lambda done, total, e: events.append(e),
+        ).run(tasks)
+        executed = [e.key for e in events if not e.from_cache]
+        assert executed == [lost.resolved_key()]
+
+
+# --------------------------------------------------------------------- #
+# URL dispatch and runner resolution
+# --------------------------------------------------------------------- #
+class TestOpenStore:
+    def test_file_scheme_and_bare_path(self, tmp_path):
+        for url in (f"file://{tmp_path}", str(tmp_path)):
+            store = open_store(url)
+            assert isinstance(store, LocalFSStore)
+            assert store.root == tmp_path
+
+    def test_memory_scheme_is_shared_per_name(self):
+        try:
+            a = open_store("memory://shared-test")
+            b = open_store("memory://shared-test")
+            c = open_store("memory://other-test")
+            assert a is b and a is not c
+        finally:
+            MemoryStore.reset("shared-test")
+            MemoryStore.reset("other-test")
+
+    def test_s3_scheme(self):
+        store = open_store("s3+http://example.invalid:9000/bucket/prefix")
+        assert isinstance(store, HTTPObjectStore)
+        assert store.base == "http://example.invalid:9000"
+        assert store.prefix == "bucket/prefix/"
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(StoreError, match="unknown store scheme"):
+            open_store("ftp://host/path")
+
+    def test_auto_selects_default_cache_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", str(tmp_path / "auto"))
+        store = open_store("auto")
+        assert store.root == tmp_path / "auto"
+
+    def test_resolve_precedence(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_STORE_URL", f"file://{tmp_path / 'env'}")
+        try:
+            explicit = resolve_store(store="memory://precedence")
+            assert isinstance(explicit, MemoryStore)
+            via_cache_dir = resolve_store(cache_dir=tmp_path / "dir")
+            assert via_cache_dir.root == tmp_path / "dir"
+            via_env = resolve_store()
+            assert via_env.root == tmp_path / "env"
+            monkeypatch.delenv("REPRO_STORE_URL")
+            assert resolve_store() is None
+        finally:
+            MemoryStore.reset("precedence")
+
+    def test_runner_picks_up_store_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_STORE_URL", f"file://{tmp_path / 'envcache'}")
+        runner = SweepRunner(max_workers=1)
+        assert isinstance(runner.store, LocalFSStore)
+        assert runner.cache_dir == tmp_path / "envcache"
+
+    def test_store_instance_passes_through(self, tmp_path):
+        store = LocalFSStore(tmp_path)
+        assert resolve_store(store=store) is store
+        assert SweepRunner(max_workers=1, store=store).store is store
+
+
+class TestDefaultCacheDir:
+    def test_explicit_env_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", str(tmp_path / "explicit"))
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "explicit"
+
+    def test_xdg_cache_home_honoured(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_SWEEP_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro" / "sweeps"
+
+    def test_home_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_SWEEP_CACHE_DIR", raising=False)
+        monkeypatch.delenv("XDG_CACHE_HOME", raising=False)
+        monkeypatch.setenv("HOME", str(tmp_path))
+        assert default_cache_dir() == tmp_path / ".cache" / "repro" / "sweeps"
+
+
+# --------------------------------------------------------------------- #
+# Tools: parse_age / mirror / prune
+# --------------------------------------------------------------------- #
+class TestTools:
+    @pytest.mark.parametrize(
+        "text,seconds",
+        [("90s", 90.0), ("45m", 2700.0), ("12h", 43200.0), ("30d", 2592000.0),
+         ("2w", 1209600.0), ("7", 604800.0), ("1.5h", 5400.0)],
+    )
+    def test_parse_age(self, text, seconds):
+        assert parse_age(text) == seconds
+
+    @pytest.mark.parametrize("bad", ["", "x", "-3d", "3y", "d"])
+    def test_parse_age_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_age(bad)
+
+    def test_mirror_copies_blobs_and_manifests(self, tmp_path):
+        src = LocalFSStore(tmp_path / "src")
+        dst = LocalFSStore(tmp_path / "dst")
+        src.put("a", b"1")
+        src.put("b", b"22")
+        src.write_manifest("m", {"x": 1})
+        dst.put("a", b"1")  # already present: skipped
+        stats = mirror(src, dst)
+        assert stats.blobs_copied == 1 and stats.blobs_skipped == 1
+        assert stats.manifests_copied == 1
+        assert dst.get("b") == b"22"
+        assert dst.read_manifest("m") == {"x": 1}
+
+    def test_prune_respects_age_and_clears_quarantine(self, tmp_path):
+        store = LocalFSStore(tmp_path)
+        store.put("old", b"x")
+        store.put("new", b"y")
+        old_path = store.blob_path("old")
+        stale = time.time() - 10 * 86400
+        os.utime(old_path, (stale, stale))
+        store.put("corrupt", b"z")
+        store.quarantine("corrupt")
+        stats = prune(store, parse_age("7d"))
+        assert stats.blobs_removed == 1 and stats.kept == 1
+        assert stats.quarantined_removed == 1
+        assert store.list() == ["new"]
+        assert store.list_quarantined() == []
+
+    def test_prune_dry_run_deletes_nothing(self, tmp_path):
+        store = LocalFSStore(tmp_path)
+        store.put("k", b"x")
+        stats = prune(store, 0.0, now=time.time() + 10, dry_run=True)
+        assert stats.blobs_removed == 1
+        assert store.exists("k")
+
+
+# --------------------------------------------------------------------- #
+# HTTP specifics
+# --------------------------------------------------------------------- #
+class TestHTTPStore:
+    def test_prefixes_are_isolated(self, server):
+        a = open_store(server.store_url("iso-a"))
+        b = open_store(server.store_url("iso-b"))
+        a.put("k", b"a")
+        b.put("k", b"b")
+        assert a.get("k") == b"a"
+        assert b.get("k") == b"b"
+        assert a.list() == ["k"] and b.list() == ["k"]
+
+    def test_stat_reports_mtime(self, server):
+        store = open_store(server.store_url("stat-test"))
+        store.put("k", b"abc")
+        stat = store.stat("k")
+        assert stat.size == 3
+        assert stat.mtime is not None and abs(stat.mtime - time.time()) < 120
+
+    def test_listing_paginates_past_one_page(self):
+        """Real S3 truncates listings at 1000 keys; the client must follow
+        IsTruncated/NextContinuationToken to a complete enumeration."""
+        with ObjectStoreServer(page_size=3) as tiny_pages:
+            store = open_store(tiny_pages.store_url("paged"))
+            keys = [f"k{i:02d}" for i in range(8)]
+            for key in keys:
+                store.put(key, b"x")
+            assert store.list() == keys
+            stats = store.stats()
+            assert stats.blobs == 8
+
+    def test_unreachable_endpoint_is_store_error(self):
+        store = HTTPObjectStore("s3+http://127.0.0.1:1/nothing", timeout=0.2, retries=0)
+        with pytest.raises(StoreError):
+            store.get("k")
+
+    def test_bad_url_rejected(self):
+        with pytest.raises(StoreError, match="s3\\+http"):
+            HTTPObjectStore("http://host/bucket")
+        with pytest.raises(StoreError, match="no host"):
+            HTTPObjectStore("s3+http://")
+
+
+# --------------------------------------------------------------------- #
+# CLI: --store threading and the store command group
+# --------------------------------------------------------------------- #
+class TestStoreCLI:
+    def test_sweep_shard_merge_through_object_store(self, server, capsys):
+        """The acceptance path: shard 0/2 + 1/2 against the HTTP fake,
+        merged with ``sweep merge --store s3+http://…``, byte-identical to
+        a single-process run, with ``store stats`` seeing the blobs."""
+        url = server.store_url("cli-acceptance")
+        assert main(["sweep", "--workload", "3", "--scale", "0.01",
+                     "--workers", "1"]) == 0
+        golden = capsys.readouterr().out
+        for shard in ("1/2", "2/2"):
+            assert main(["sweep", "--workload", "3", "--scale", "0.01",
+                         "--store", url, "--shard", shard]) == 0
+            capsys.readouterr()
+        assert main(["sweep", "merge", "--workload", "3", "--scale", "0.01",
+                     "--store", url]) == 0
+        merged = capsys.readouterr().out
+        assert merged == golden, "merged remote-store output diverged"
+        assert main(["store", "stats", url]) == 0
+        stats_out = capsys.readouterr().out
+        assert "blobs:       6" in stats_out
+        assert "manifests:   2" in stats_out
+
+    def test_store_and_cache_dir_are_mutually_exclusive(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--workload", "3", "--scale", "0.01",
+                  "--store", "memory://x", "--cache-dir", str(tmp_path)])
+        assert excinfo.value.code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_shard_accepts_store_env(self, monkeypatch, tmp_path, capsys):
+        monkeypatch.setenv("REPRO_STORE_URL", f"file://{tmp_path / 'env'}")
+        assert main(["sweep", "--workload", "3", "--scale", "0.01",
+                     "--shard", "1/2"]) == 0
+        assert "shard run finished" in capsys.readouterr().out
+        assert (tmp_path / "env" / "manifests").is_dir()
+
+    def test_push_pull_round_trip(self, tmp_path, server, capsys):
+        local = tmp_path / "local"
+        url = server.store_url("pushpull")
+        store = LocalFSStore(local)
+        store.put("deadbeef", b"blob")
+        store.write_manifest("m", {"x": 1})
+        assert main(["store", "push", str(local), url]) == 0
+        assert "copied 1 blob(s)" in capsys.readouterr().out
+        pulled = tmp_path / "pulled"
+        assert main(["store", "pull", url, str(pulled)]) == 0
+        capsys.readouterr()
+        mirrored = LocalFSStore(pulled)
+        assert mirrored.get("deadbeef") == b"blob"
+        assert mirrored.read_manifest("m") == {"x": 1}
+
+    def test_prune_cli(self, tmp_path, capsys):
+        store = LocalFSStore(tmp_path)
+        store.put("k", b"x")
+        assert main(["store", "prune", str(tmp_path), "--older-than", "30d"]) == 0
+        assert "removed 0 blob(s)" in capsys.readouterr().out
+        assert main(["store", "prune", str(tmp_path), "--older-than", "0s"]) == 0
+        capsys.readouterr()
+        assert store.list() == []
+
+    def test_bad_age_is_clean_error(self, tmp_path, capsys):
+        assert main(["store", "prune", str(tmp_path), "--older-than", "soon"]) == 2
+        assert "invalid age" in capsys.readouterr().err
+
+    def test_missing_url_is_clean_error(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_STORE_URL", raising=False)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["store", "stats"])
+        assert excinfo.value.code == 2
+        assert "REPRO_STORE_URL" in capsys.readouterr().err
+
+    def test_unknown_scheme_is_clean_error(self, capsys):
+        assert main(["store", "stats", "gopher://x"]) == 2
+        assert "unknown store scheme" in capsys.readouterr().err
+
+    def test_serve_on_busy_port_is_clean_error(self, server, capsys):
+        assert main(["store", "serve", "--host", server.host,
+                     "--port", str(server.port)]) == 2
+        assert "cannot bind" in capsys.readouterr().err
