@@ -18,6 +18,7 @@ shell (installed as ``repro-sdpolicy`` or via ``python -m repro``):
   grouped as in the paper); every figure honours ``--workers`` and
   ``--cache-dir``/``--store``;
 * ``store`` — inspect and manage result stores (``stats``, ``prune``,
+  manifest-aware ``gc``, integrity ``verify``/``repair``,
   ``push``/``pull`` mirroring, and ``serve`` — an in-process
   S3-compatible endpoint for tests and CI);
 * ``swf`` — inspect a Standard Workload Format file.
@@ -73,7 +74,16 @@ from repro.experiments.sweep import (
     SweepRunner,
 )
 from repro.experiments.executors import parse_shard
-from repro.store import StoreError, mirror, open_store, parse_age, prune
+from repro.store import (
+    StoreError,
+    gc,
+    mirror,
+    open_store,
+    parse_age,
+    prune,
+    repair,
+    verify,
+)
 from repro.workloads.presets import build_workload
 from repro.workloads.swf import read_swf
 
@@ -412,6 +422,12 @@ def _cmd_store_stats(args: argparse.Namespace) -> int:
     print(f"blobs:       {stats.blobs} ({_human_bytes(stats.blob_bytes)})")
     print(f"manifests:   {stats.manifests} ({_human_bytes(stats.manifest_bytes)})")
     print(f"quarantined: {stats.quarantined}")
+    if stats.unknown_size:
+        print(
+            f"note: {stats.unknown_size} object(s) reported no size; "
+            "byte totals are a lower bound",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -430,9 +446,79 @@ def _cmd_store_prune(args: argparse.Namespace) -> int:
         f"{stats.quarantined_removed} quarantined entr"
         f"{'y' if stats.quarantined_removed == 1 else 'ies'}; "
         f"kept {stats.kept}"
+        + (
+            f", kept {stats.kept_referenced} manifest-referenced"
+            if stats.kept_referenced
+            else ""
+        )
         + (f", skipped {stats.unknown_age} of unknown age" if stats.unknown_age else "")
     )
     return 0
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    try:
+        grace = parse_age(args.grace)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    store = _open_cli_store(args.url)
+    stats = gc(store, grace_seconds=grace, dry_run=args.dry_run)
+    verb = "would delete" if args.dry_run else "deleted"
+    print(
+        f"{store.url}: {verb} {stats.blobs_deleted} unreferenced blob(s) "
+        f"({_human_bytes(stats.blob_bytes_freed)}) and {stats.temp_deleted} "
+        f"stale temp file(s); kept {stats.kept_referenced} referenced by "
+        f"{stats.manifests_walked} shard manifest(s), "
+        f"{stats.kept_young} within the grace period"
+        + (f", skipped {stats.unknown_age} of unknown age" if stats.unknown_age else "")
+    )
+    return 0
+
+
+def _cmd_store_verify(args: argparse.Namespace) -> int:
+    import json as _json
+
+    store = _open_cli_store(args.url)
+    report = verify(store, dry_run=args.dry_run)
+    if args.json:
+        print(_json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"store:    {store.url}")
+        print(f"checked:  {report.checked} blob(s)")
+        print(f"ok:       {report.ok}")
+        print(f"legacy:   {report.legacy} (pre-envelope, no digest to verify)")
+        print(f"corrupt:  {len(report.corrupt)}")
+        for entry in report.corrupt:
+            action = "would quarantine" if args.dry_run else "quarantined"
+            print(f"  {action} {entry['key']}: {entry['error']}")
+        for entry in report.drift:
+            print(
+                f"warning: {entry['key']} verifies but differs from the digest "
+                f"its shard manifest recorded (manifest {entry['manifest'][:12]}…, "
+                f"blob {entry['blob'][:12]}…) — recomputed, or replaced?",
+                file=sys.stderr,
+            )
+        for key in report.missing_referenced:
+            print(
+                f"warning: manifest-referenced blob {key} is missing "
+                "(pruned store, or wrong URL?)",
+                file=sys.stderr,
+            )
+    return 0 if report.clean else 1
+
+
+def _cmd_store_repair(args: argparse.Namespace) -> int:
+    store = _open_cli_store(args.url)
+    source = open_store(args.source)
+    stats = repair(store, source, dry_run=args.dry_run)
+    verb = "would repair" if args.dry_run else "repaired"
+    print(
+        f"{store.url}: {verb} {stats.repaired} quarantined blob(s) from "
+        f"{source.url}; {stats.missing_in_source} missing in the mirror, "
+        f"{stats.still_corrupt} corrupt there too"
+    )
+    return 0 if stats.missing_in_source == 0 and stats.still_corrupt == 0 else 1
 
 
 def _cmd_store_mirror(args: argparse.Namespace) -> int:
@@ -444,6 +530,12 @@ def _cmd_store_mirror(args: argparse.Namespace) -> int:
         f"({_human_bytes(stats.blob_bytes_copied)}), skipped "
         f"{stats.blobs_skipped} already present, "
         f"{stats.manifests_copied} manifest(s)"
+        + (
+            f", {stats.quarantined_copied} quarantined entr"
+            f"{'y' if stats.quarantined_copied == 1 else 'ies'}"
+            if stats.quarantined_copied
+            else ""
+        )
     )
     return 0
 
@@ -551,7 +643,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_store = sub.add_parser(
         "store",
-        help="inspect/manage result stores (stats, prune, push/pull, serve)",
+        help="inspect/manage result stores (stats, prune, gc, verify, "
+             "repair, push/pull, serve)",
     )
     store_sub = p_store.add_subparsers(dest="store_command", required=True)
 
@@ -577,6 +670,50 @@ def build_parser() -> argparse.ArgumentParser:
     p_st_prune.add_argument("--dry-run", action="store_true",
                             help="report what would be removed, delete nothing")
     p_st_prune.set_defaults(func=_cmd_store_prune)
+
+    p_st_gc = store_sub.add_parser(
+        "gc",
+        help="delete blobs no shard manifest references (plus stale *.tmp "
+             "debris); referenced blobs are never deleted",
+    )
+    p_st_gc.add_argument("url", nargs="?", default=None,
+                         help="store URL (default: REPRO_STORE_URL)")
+    p_st_gc.add_argument(
+        "--grace", default="1h", metavar="AGE",
+        help="age floor: unreferenced blobs younger than this are kept "
+             "(default: 1h; 90s, 45m, 12h, 30d — a bare number means days)",
+    )
+    p_st_gc.add_argument("--dry-run", action="store_true",
+                         help="report what would be deleted, delete nothing")
+    p_st_gc.set_defaults(func=_cmd_store_gc)
+
+    p_st_verify = store_sub.add_parser(
+        "verify",
+        help="re-hash every blob against its integrity envelope, "
+             "quarantining mismatches (exit 1 when any are found)",
+    )
+    p_st_verify.add_argument("url", nargs="?", default=None,
+                             help="store URL (default: REPRO_STORE_URL)")
+    p_st_verify.add_argument("--json", action="store_true",
+                             help="emit the machine-readable report as JSON")
+    p_st_verify.add_argument("--dry-run", action="store_true",
+                             help="report mismatches without quarantining them")
+    p_st_verify.set_defaults(func=_cmd_store_verify)
+
+    p_st_repair = store_sub.add_parser(
+        "repair",
+        help="re-fetch quarantined blobs from a mirror store and republish "
+             "the ones that verify",
+    )
+    p_st_repair.add_argument("url", nargs="?", default=None,
+                             help="store URL to repair (default: REPRO_STORE_URL)")
+    p_st_repair.add_argument(
+        "--from", dest="source", required=True, metavar="URL",
+        help="mirror store to re-fetch good copies from",
+    )
+    p_st_repair.add_argument("--dry-run", action="store_true",
+                             help="report what would be repaired, change nothing")
+    p_st_repair.set_defaults(func=_cmd_store_repair)
 
     p_st_push = store_sub.add_parser(
         "push", help="mirror a local cache into a (remote) store"

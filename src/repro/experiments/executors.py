@@ -61,8 +61,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
 #: Bump when the shard manifest layout changes; old manifests are rejected.
 #: v2: manifests live in the result store, records carry ``cache_key``
 #: (``cache_path`` only for local-FS stores) and the shard reports its
-#: quarantined-corruption count.
-MANIFEST_FORMAT_VERSION = 2
+#: quarantined-corruption count.  v3: done records also carry ``digest``,
+#: the SHA-256 content digest of the published cache blob (what ``store
+#: verify`` cross-checks and ``store repair`` validates against).
+MANIFEST_FORMAT_VERSION = 3
 
 #: Subdirectory of the cache directory holding shard manifests by default.
 MANIFEST_DIR_NAME = "manifests"
@@ -154,7 +156,10 @@ class ExecutionPlan:
     runner's own probe (a merge aggregating shard manifests does).
     ``max_workers`` is the runner's resolved worker budget, which executors
     that spawn their own inner backend must respect unless explicitly
-    configured otherwise.
+    configured otherwise.  ``digests`` is the runner's live map of task
+    index to the SHA-256 content digest of its cache blob — filled for
+    cache hits up front and for every completion after ``complete``
+    returns — which sharded executors record in their manifests.
     """
 
     tasks: Sequence["SweepTask"]
@@ -166,6 +171,7 @@ class ExecutionPlan:
     max_workers: int = 1
     corrupt: Sequence[int] = ()
     note_corruptions: Optional[Callable[[int], None]] = None
+    digests: Optional[Dict[int, Optional[str]]] = None
 
 
 class Executor(abc.ABC):
@@ -381,6 +387,7 @@ class ShardedExecutor(Executor):
         pending_set = set(pending)
         records: Dict[int, Dict[str, Any]] = {}
         blob_path = getattr(store, "blob_path", None)
+        digests = plan.digests if plan.digests is not None else {}
         for i in owned:
             records[i] = {
                 "index": i,
@@ -389,6 +396,9 @@ class ShardedExecutor(Executor):
                 "status": "pending" if i in pending_set else "done",
                 "from_cache": i not in pending_set,
                 "wall_clock_seconds": 0.0,
+                # Blob content digest (v3) — known up front for cache hits,
+                # filled in on completion for freshly-executed tasks.
+                "digest": digests.get(i),
             }
             if blob_path is not None:  # local-FS convenience for humans
                 records[i]["cache_path"] = str(blob_path(plan.cache_keys[i]))
@@ -427,7 +437,11 @@ class ShardedExecutor(Executor):
 
         def complete(index: int, run: "PolicyRun", elapsed: float) -> None:
             plan.complete(index, run, elapsed)
-            records[index].update(status="done", wall_clock_seconds=elapsed)
+            records[index].update(
+                status="done",
+                wall_clock_seconds=elapsed,
+                digest=digests.get(index),
+            )
             write_manifest()
 
         # An explicit max_workers on the executor wins; otherwise inherit
@@ -485,7 +499,9 @@ class MergeExecutor(Executor):
             if manifest.get("format") != MANIFEST_FORMAT_VERSION:
                 raise ExecutorError(
                     f"shard manifest {name} has format "
-                    f"{manifest.get('format')!r}; expected {MANIFEST_FORMAT_VERSION}"
+                    f"{manifest.get('format')!r}; expected "
+                    f"{MANIFEST_FORMAT_VERSION} (re-run the shards with this "
+                    "version — completed tasks come back as cache hits)"
                 )
             if manifest.get("sweep_id") != sweep:
                 raise ExecutorError(f"shard manifest {name} is for another sweep")

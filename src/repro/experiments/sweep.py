@@ -65,8 +65,11 @@ from repro.store import (
     LocalFSStore,
     ResultStore,
     StoreError,
+    blob_digest,
     default_cache_dir,
     resolve_store,
+    unwrap_blob,
+    wrap_blob,
 )
 from repro.workloads.job_record import Workload
 
@@ -347,10 +350,16 @@ class SweepRunner:
             return self.store.blob_path(task_cache_key(task))
         return None
 
-    def _cache_load(self, key: Optional[str]) -> Tuple[Optional[PolicyRun], bool]:
-        """Load one cache entry; returns ``(run, was_corrupt)``.
+    def _cache_load(
+        self, key: Optional[str]
+    ) -> Tuple[Optional[PolicyRun], bool, Optional[str]]:
+        """Load one cache entry; returns ``(run, was_corrupt, digest)``.
 
-        A corrupt blob (torn write, truncation, unpicklable garbage) is
+        Blobs written by this runner carry an integrity envelope
+        (:func:`repro.store.wrap_blob`) whose SHA-256 content digest is
+        verified here on every read; pre-envelope blobs still load and
+        their digest is computed over the raw bytes.  A corrupt blob
+        (torn write, truncation, digest mismatch, unpicklable garbage) is
         quarantined in the store so it is never retried — one bad entry
         must not poison every subsequent (sharded) run — and reported
         distinctly from an ordinary miss.  Transport failures
@@ -358,17 +367,20 @@ class SweepRunner:
         is not a cache miss.
         """
         if key is None or self.store is None:
-            return None, False
+            return None, False, None
         data = self.store.get(key)
         if data is None:
-            return None, False
+            return None, False, None
         try:
-            payload = pickle.loads(data)
+            payload_bytes, digest = unwrap_blob(data)
+            if digest is None:  # pre-envelope blob: digest of the raw bytes
+                digest = blob_digest(payload_bytes)
+            payload = pickle.loads(payload_bytes)
             if not isinstance(payload, dict):
                 raise TypeError(f"cache payload is {type(payload).__name__}, not dict")
             if payload.get("format") != CACHE_FORMAT_VERSION:
-                return None, False  # stale but well-formed: an ordinary miss
-            return payload["run"], False
+                return None, False, None  # stale but well-formed: an ordinary miss
+            return payload["run"], False, digest
         except StoreError:
             raise
         except Exception:  # corrupt entry: quarantine it and treat as a miss
@@ -376,11 +388,14 @@ class SweepRunner:
                 self.store.quarantine(key)
             except StoreError:
                 pass
-            return None, True
+            return None, True, None
 
-    def _cache_store(self, key: Optional[str], task: SweepTask, run: PolicyRun) -> None:
+    def _cache_store(
+        self, key: Optional[str], task: SweepTask, run: PolicyRun
+    ) -> Optional[str]:
+        """Publish one cache entry; returns the blob content digest."""
         if key is None or self.store is None:
-            return
+            return None
         payload = {
             "format": CACHE_FORMAT_VERSION,
             "key": task.resolved_key(),
@@ -390,9 +405,18 @@ class SweepRunner:
             "workload": task.workload.name,
             "run": run,
         }
-        # Stores publish atomically, so concurrent sweeps sharing one
-        # backend never observe a torn entry.
-        self.store.put(key, pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))
+        # The envelope records a SHA-256 over the pickled payload, so a
+        # truncated or bit-rotted blob is detected on read (`store verify`
+        # re-checks at rest); stores publish atomically, so concurrent
+        # sweeps sharing one backend never observe a torn entry.  Readers
+        # predating the envelope quarantine enveloped blobs as corrupt —
+        # clients sharing a store must run the same version (the shard
+        # manifest format bump enforces this for sharded fan-outs).
+        enveloped, digest = wrap_blob(
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        self.store.put(key, enveloped)
+        return digest
 
     # ------------------------------------------------------------------ #
     def run(self, tasks: Sequence[SweepTask]) -> SweepResult:
@@ -416,12 +440,14 @@ class SweepRunner:
         corrupt_indices: List[int] = []
         shard_corruptions: List[int] = [0]
         cache_keys = [self._cache_key(task) for task in tasks]
+        digests: Dict[int, Optional[str]] = {}
 
         for index, task in enumerate(tasks):
-            cached, was_corrupt = self._cache_load(cache_keys[index])
+            cached, was_corrupt, digest = self._cache_load(cache_keys[index])
             if was_corrupt:
                 corrupt_indices.append(index)
             if cached is not None:
+                digests[index] = digest
                 entries[index] = SweepEntry(
                     key=keys[index], run=cached, from_cache=True, wall_clock_seconds=0.0
                 )
@@ -435,7 +461,7 @@ class SweepRunner:
 
         def complete(index: int, run: PolicyRun, elapsed: float) -> None:
             nonlocal done
-            self._cache_store(cache_keys[index], tasks[index], run)
+            digests[index] = self._cache_store(cache_keys[index], tasks[index], run)
             entry = SweepEntry(
                 key=keys[index], run=run, from_cache=False, wall_clock_seconds=elapsed
             )
@@ -459,6 +485,7 @@ class SweepRunner:
                 max_workers=self.max_workers,
                 corrupt=corrupt_indices,
                 note_corruptions=note_corruptions,
+                digests=digests,
             )
         )
 

@@ -15,9 +15,12 @@ Three backends ship:
 
 :func:`open_store` dispatches a URL to its backend; :func:`resolve_store`
 adds the ``SweepRunner`` conveniences (``cache_dir`` back-compat, the
-``REPRO_STORE_URL`` environment default).  ``repro-sdpolicy store`` exposes
-:mod:`repro.store.tools` (stats / prune / push / pull) and the in-process
-test endpoint of :mod:`repro.store.fake` from the shell.
+``REPRO_STORE_URL`` environment default).  :mod:`repro.store.lifecycle`
+adds the lifecycle layer — blob integrity envelopes, manifest-aware
+``gc``, ``verify`` and ``repair``.  ``repro-sdpolicy store`` exposes
+:mod:`repro.store.tools` and :mod:`repro.store.lifecycle` (stats / prune /
+gc / verify / repair / push / pull) and the in-process test endpoint of
+:mod:`repro.store.fake` from the shell.
 """
 
 from __future__ import annotations
@@ -37,6 +40,20 @@ from repro.store.base import (
     StoreStats,
 )
 from repro.store.http_store import HTTPObjectStore
+from repro.store.lifecycle import (
+    BlobIntegrityError,
+    GCStats,
+    ManifestReferences,
+    RepairStats,
+    VerifyReport,
+    blob_digest,
+    collect_references,
+    gc,
+    repair,
+    unwrap_blob,
+    verify,
+    wrap_blob,
+)
 from repro.store.localfs import LocalFSStore, default_cache_dir
 from repro.store.memory import MemoryStore
 from repro.store.tools import MirrorStats, PruneStats, mirror, parse_age, prune
@@ -46,21 +63,33 @@ __all__ = [
     "MANIFEST_PREFIX",
     "MANIFEST_SUFFIX",
     "QUARANTINE_SUFFIX",
+    "BlobIntegrityError",
+    "GCStats",
     "HTTPObjectStore",
     "LocalFSStore",
+    "ManifestReferences",
     "MemoryStore",
     "MirrorStats",
     "ObjectStat",
     "PruneStats",
+    "RepairStats",
     "ResultStore",
     "StoreError",
     "StoreStats",
+    "VerifyReport",
+    "blob_digest",
+    "collect_references",
     "default_cache_dir",
+    "gc",
     "mirror",
     "open_store",
     "parse_age",
     "prune",
+    "repair",
     "resolve_store",
+    "unwrap_blob",
+    "verify",
+    "wrap_blob",
 ]
 
 #: URL schemes accepted by :func:`open_store` (a bare path is file://).

@@ -25,7 +25,7 @@ from __future__ import annotations
 import abc
 import json
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 #: Object-name suffix of a result blob.
 BLOB_SUFFIX = ".pkl"
@@ -39,6 +39,10 @@ MANIFEST_SUFFIX = ".json"
 #: Suffix appended to a blob's object name when it is quarantined.
 QUARANTINE_SUFFIX = ".corrupt"
 
+#: Suffix of stray temporary objects left behind by a crashed atomic write
+#: (``LocalFSStore._write``'s mkstemp files); ``store gc`` sweeps them.
+TMP_SUFFIX = ".tmp"
+
 
 class StoreError(RuntimeError):
     """A result-store operation failed (I/O, transport, bad document…)."""
@@ -46,21 +50,32 @@ class StoreError(RuntimeError):
 
 @dataclass(frozen=True)
 class ObjectStat:
-    """Metadata of one stored object."""
+    """Metadata of one stored object.
 
-    size: int
+    ``size`` is ``None`` when the backend cannot report it (an HTTP
+    endpoint answering without a usable ``Content-Length``); byte
+    accounting must then report the size as unknown rather than ``0``.
+    """
+
+    size: Optional[int]
     mtime: Optional[float] = None
 
 
 @dataclass(frozen=True)
 class StoreStats:
-    """Aggregate contents of a store (the ``store stats`` command)."""
+    """Aggregate contents of a store (the ``store stats`` command).
+
+    ``unknown_size`` counts objects the backend reported no size for —
+    the byte totals exclude them, so a nonzero count flags the totals as
+    a lower bound rather than silently folding the objects in as 0 bytes.
+    """
 
     blobs: int
     blob_bytes: int
     manifests: int
     manifest_bytes: int
     quarantined: int
+    unknown_size: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -69,6 +84,7 @@ class StoreStats:
             "manifests": self.manifests,
             "manifest_bytes": self.manifest_bytes,
             "quarantined": self.quarantined,
+            "unknown_size": self.unknown_size,
         }
 
 
@@ -114,6 +130,17 @@ class ResultStore(abc.ABC):
     def _stat(self, name: str) -> Optional[ObjectStat]:
         """Size/mtime of one object, or ``None`` when it does not exist."""
 
+    def _entries(self, prefix: str = "") -> List[Tuple[str, Optional[ObjectStat]]]:
+        """Name + stat of every object starting with ``prefix``, sorted.
+
+        The default costs one ``_stat`` per object; backends whose listing
+        already carries metadata (the S3 ``list-type=2`` document's
+        ``<Size>``/``<LastModified>``) override this so aggregate
+        operations (``stats``, ``prune``, ``gc``) take one listing
+        round-trip instead of one HEAD per object.
+        """
+        return [(name, self._stat(name)) for name in self._names(prefix)]
+
     # ------------------------------------------------------------------ #
     # Blobs
     # ------------------------------------------------------------------ #
@@ -146,21 +173,46 @@ class ResultStore(abc.ABC):
     def stat(self, key: str) -> Optional[ObjectStat]:
         return self._stat(self._blob_name(key))
 
+    def blob_entries(self, prefix: str = "") -> List[Tuple[str, Optional[ObjectStat]]]:
+        """``(key, stat)`` of every blob starting with ``prefix``, sorted.
+
+        One listing round-trip where the backend supports it — the bulk
+        sibling of :meth:`stat` that ``prune``/``gc``/``stats`` iterate.
+        """
+        return [
+            (name[: -len(BLOB_SUFFIX)], stat)
+            for name, stat in self._entries(prefix)
+            if name.endswith(BLOB_SUFFIX) and "/" not in name
+        ]
+
     # ------------------------------------------------------------------ #
     # Quarantine (corrupt blobs are moved aside, never retried)
     # ------------------------------------------------------------------ #
     def quarantine(self, key: str) -> None:
-        """Move a corrupt blob out of the blob namespace.
+        """Move a corrupt blob out of the blob namespace, idempotently.
 
         The default implementation copies the bytes to the quarantine name
         and deletes the original; backends with a cheaper atomic rename
-        override this.  Quarantining an already-missing blob is a no-op.
+        override this.  Copy-then-delete is not atomic, so a crash (or a
+        failed delete) can leave both the live blob and its quarantine
+        copy behind; re-quarantining finishes the job — an existing
+        quarantine copy is never rewritten (the first capture is the
+        evidence) and only the delete is retried.  A failed delete raises
+        :class:`StoreError` so callers know the corrupt blob is still
+        visible to readers.  Quarantining an already-missing blob is a
+        no-op.
         """
         name = self._blob_name(key)
         data = self._read(name)
-        if data is not None:
+        if data is not None and self._stat(name + QUARANTINE_SUFFIX) is None:
             self._write(name + QUARANTINE_SUFFIX, data)
-        self._delete(name)
+        try:
+            self._delete(name)
+        except StoreError as exc:
+            raise StoreError(
+                f"quarantined blob {key!r} in {self.url} but could not delete "
+                f"the original, which stays visible to readers: {exc}"
+            ) from exc
 
     def list_quarantined(self, prefix: str = "") -> List[str]:
         """Blob keys with a quarantined entry, sorted."""
@@ -173,6 +225,14 @@ class ResultStore(abc.ABC):
 
     def delete_quarantined(self, key: str) -> bool:
         return self._delete(self._blob_name(key) + QUARANTINE_SUFFIX)
+
+    def get_quarantined(self, key: str) -> Optional[bytes]:
+        """Bytes of a quarantined blob (corruption evidence), or ``None``."""
+        return self._read(self._blob_name(key) + QUARANTINE_SUFFIX)
+
+    def put_quarantined(self, key: str, data: bytes) -> None:
+        """Publish a quarantined entry verbatim (mirroring evidence)."""
+        self._write(self._blob_name(key) + QUARANTINE_SUFFIX, data)
 
     # ------------------------------------------------------------------ #
     # Manifests (atomic JSON documents)
@@ -218,26 +278,45 @@ class ResultStore(abc.ABC):
     # Aggregates
     # ------------------------------------------------------------------ #
     def stats(self) -> StoreStats:
-        """Count blobs/manifests/quarantined entries and their sizes."""
+        """Count blobs/manifests/quarantined entries and their sizes.
+
+        One bulk ``_entries`` pass (a single listing round-trip on
+        backends whose listing carries metadata).  A blob whose quarantine
+        copy also exists — an interrupted :meth:`quarantine` — is counted
+        once, as quarantined, not double-counted as a live blob too.
+        """
         blobs = blob_bytes = manifests = manifest_bytes = quarantined = 0
-        for name in self._names():
-            if name.endswith(BLOB_SUFFIX + QUARANTINE_SUFFIX):
+        unknown_size = 0
+        entries = self._entries()
+        quarantine_names = {
+            name
+            for name, _ in entries
+            if name.endswith(BLOB_SUFFIX + QUARANTINE_SUFFIX)
+        }
+        for name, stat in entries:
+            if name in quarantine_names:
                 quarantined += 1
                 continue
-            stat = self._stat(name)
-            size = stat.size if stat is not None else 0
+            size = stat.size if stat is not None else None
             if name.startswith(MANIFEST_PREFIX) and name.endswith(MANIFEST_SUFFIX):
                 manifests += 1
-                manifest_bytes += size
+                manifest_bytes += size or 0
+                if size is None:
+                    unknown_size += 1
             elif name.endswith(BLOB_SUFFIX) and "/" not in name:
+                if name + QUARANTINE_SUFFIX in quarantine_names:
+                    continue  # half-quarantined: already counted as evidence
                 blobs += 1
-                blob_bytes += size
+                blob_bytes += size or 0
+                if size is None:
+                    unknown_size += 1
         return StoreStats(
             blobs=blobs,
             blob_bytes=blob_bytes,
             manifests=manifests,
             manifest_bytes=manifest_bytes,
             quarantined=quarantined,
+            unknown_size=unknown_size,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -16,6 +16,7 @@ against ``s3+http://127.0.0.1:<port>/…`` without any external service.
 from __future__ import annotations
 
 import argparse
+import datetime
 import threading
 import time
 from email.utils import formatdate
@@ -23,6 +24,12 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Sequence, Tuple
 from urllib.parse import parse_qs, unquote, urlsplit
 from xml.sax.saxutils import escape
+
+
+def _iso8601(epoch: float) -> str:
+    """Epoch seconds as the ISO 8601 UTC stamp S3 listings use."""
+    stamp = datetime.datetime.fromtimestamp(epoch, tz=datetime.timezone.utc)
+    return stamp.strftime("%Y-%m-%dT%H:%M:%S.%f")[:-3] + "Z"
 
 
 class _ObjectState:
@@ -65,11 +72,18 @@ class _Handler(BaseHTTPRequestHandler):
         page_size = getattr(self.server, "page_size", 1000)
         with self._state.lock:
             keys = sorted(k for k in self._state.objects if k.startswith(prefix))
+            meta = {k: (len(self._state.objects[k][0]), self._state.objects[k][1])
+                    for k in keys}
         if token:  # continuation token: the last key of the previous page
             keys = [k for k in keys if k > token]
         page, rest = keys[:page_size], keys[page_size:]
         contents = "".join(
-            f"<Contents><Key>{escape(key)}</Key></Contents>" for key in page
+            f"<Contents><Key>{escape(key)}</Key>"
+            f"<Size>{meta[key][0]}</Size>"
+            # ISO 8601, as real S3 listings (HEAD answers HTTP-dates).
+            f"<LastModified>{_iso8601(meta[key][1])}</LastModified>"
+            "</Contents>"
+            for key in page
         )
         truncation = f"<IsTruncated>{'true' if rest else 'false'}</IsTruncated>"
         if rest:

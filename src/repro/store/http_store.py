@@ -23,6 +23,7 @@ beyond one page (1000 keys on real S3) enumerate completely.
 
 from __future__ import annotations
 
+import datetime
 import time
 import urllib.error
 import urllib.parse
@@ -115,10 +116,18 @@ class HTTPObjectStore(ResultStore):
             return None
         _, headers = response
         headers = {k.lower(): v for k, v in headers.items()}
-        try:
-            size = int(headers.get("content-length", 0))
-        except ValueError:
-            size = 0
+        # A missing or unparsable Content-Length means the size is unknown,
+        # not zero — zero would silently corrupt prune/stats byte totals.
+        size: Optional[int] = None
+        length = headers.get("content-length")
+        if length is not None:
+            try:
+                size = int(length)
+            except ValueError:
+                size = None
+            else:
+                if size < 0:
+                    size = None
         mtime: Optional[float] = None
         modified = headers.get("last-modified")
         if modified:
@@ -128,8 +137,32 @@ class HTTPObjectStore(ResultStore):
                 mtime = None
         return ObjectStat(size=size, mtime=mtime)
 
-    def _names(self, prefix: str = "") -> List[str]:
-        names: List[str] = []
+    @staticmethod
+    def _listing_mtime(text: str) -> Optional[float]:
+        """Parse a listing ``<LastModified>`` (ISO 8601 on S3) to an epoch."""
+        text = text.strip()
+        if not text:
+            return None
+        try:
+            return datetime.datetime.fromisoformat(
+                text.replace("Z", "+00:00")
+            ).timestamp()
+        except ValueError:
+            pass
+        try:  # some proxies emit HTTP-dates here
+            return parsedate_to_datetime(text).timestamp()
+        except (TypeError, ValueError):
+            return None
+
+    def _entries(self, prefix: str = "") -> List[Tuple[str, Optional[ObjectStat]]]:
+        """One listing enumeration, metadata included.
+
+        The ``list-type=2`` document already carries ``<Size>`` and
+        ``<LastModified>`` per ``<Contents>`` entry, so aggregate
+        operations (``stats``/``prune``/``gc``) cost one round-trip per
+        page instead of one HEAD per object.
+        """
+        entries: List[Tuple[str, Optional[ObjectStat]]] = []
         token: Optional[str] = None
         while True:
             params = {"list-type": "2", "prefix": self.prefix + prefix}
@@ -152,10 +185,29 @@ class HTTPObjectStore(ResultStore):
             # Both namespaced (real S3) and bare (the fake) documents are fine.
             for element in root.iter():
                 tag = element.tag.rsplit("}", 1)[-1]
-                if tag == "Key" and element.text:
-                    key = element.text
-                    if key.startswith(self.prefix):
-                        names.append(key[len(self.prefix) :])
+                if tag == "Contents":
+                    key = None
+                    size: Optional[int] = None
+                    mtime: Optional[float] = None
+                    for child in element:
+                        child_tag = child.tag.rsplit("}", 1)[-1]
+                        text = child.text or ""
+                        if child_tag == "Key":
+                            key = text
+                        elif child_tag == "Size":
+                            try:
+                                size = int(text.strip())
+                            except ValueError:
+                                size = None
+                        elif child_tag == "LastModified":
+                            mtime = self._listing_mtime(text)
+                    if key and key.startswith(self.prefix):
+                        stat = (
+                            ObjectStat(size=size, mtime=mtime)
+                            if size is not None or mtime is not None
+                            else None
+                        )
+                        entries.append((key[len(self.prefix) :], stat))
                 elif tag == "IsTruncated":
                     truncated = (element.text or "").strip().lower() == "true"
                 elif tag == "NextContinuationToken":
@@ -167,4 +219,7 @@ class HTTPObjectStore(ResultStore):
                     f"list on {self.base} is truncated but carries no "
                     "NextContinuationToken; refusing a partial listing"
                 )
-        return sorted(names)
+        return sorted(entries, key=lambda entry: entry[0])
+
+    def _names(self, prefix: str = "") -> List[str]:
+        return [name for name, _ in self._entries(prefix)]

@@ -13,7 +13,7 @@ from __future__ import annotations
 import os
 import tempfile
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.store.base import (
     BLOB_SUFFIX,
@@ -137,17 +137,53 @@ class LocalFSStore(ResultStore):
             raise StoreError(f"cannot stat {name!r} in {self.url}: {exc}") from exc
         return ObjectStat(size=st.st_size, mtime=st.st_mtime)
 
+    def _entries(self, prefix: str = "") -> List[Tuple[str, Optional[ObjectStat]]]:
+        entries: List[Tuple[str, Optional[ObjectStat]]] = []
+
+        def scan(directory: Path, name_prefix: str) -> None:
+            if not directory.is_dir():
+                return
+            for path in directory.iterdir():
+                name = name_prefix + path.name
+                if not name.startswith(prefix):
+                    continue
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue  # vanished between iterdir and stat
+                if not path.is_file():
+                    continue
+                entries.append((name, ObjectStat(size=st.st_size, mtime=st.st_mtime)))
+
+        scan(self.root, "")
+        scan(self.manifest_dir, MANIFEST_PREFIX)
+        return sorted(entries, key=lambda entry: entry[0])
+
     # ------------------------------------------------------------------ #
     def quarantine(self, key: str) -> None:
-        """Rename the blob aside atomically (falls back to deletion)."""
+        """Rename the blob aside atomically (single ``os.replace``).
+
+        Honours the base-class contract: existing quarantine evidence is
+        never rewritten (the first capture wins), and a failure that
+        leaves the corrupt blob visible to readers raises
+        :class:`StoreError` instead of passing silently.
+        """
         path = self.blob_path(key)
         quarantined = path.with_name(path.name + QUARANTINE_SUFFIX)
         try:
+            if quarantined.exists():
+                # Evidence already captured (an interrupted quarantine, or
+                # mirrored in): just finish deleting the live blob.
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    pass
+                return
             os.replace(path, quarantined)
         except FileNotFoundError:
             pass
-        except OSError:
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        except OSError as exc:
+            raise StoreError(
+                f"cannot quarantine blob {key!r} in {self.url}; the corrupt "
+                f"blob stays visible to readers: {exc}"
+            ) from exc

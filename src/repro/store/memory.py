@@ -16,6 +16,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.store.base import ObjectStat, ResultStore
 
+_Entry = Tuple[str, Optional[ObjectStat]]
+
 
 class MemoryStore(ResultStore):
     """A dict-backed result store with the full protocol semantics."""
@@ -71,3 +73,11 @@ class MemoryStore(ResultStore):
         if entry is None:
             return None
         return ObjectStat(size=len(entry[0]), mtime=entry[1])
+
+    def _entries(self, prefix: str = "") -> List[_Entry]:
+        with self._lock:
+            return [
+                (name, ObjectStat(size=len(data), mtime=mtime))
+                for name, (data, mtime) in sorted(self._objects.items())
+                if name.startswith(prefix)
+            ]

@@ -1,10 +1,12 @@
 """Store maintenance operations behind ``repro-sdpolicy store``.
 
 ``mirror`` copies one store into another (push/pull between a laptop cache
-and a remote object store); ``prune`` evicts blobs older than a cutoff.
-Both are backend-agnostic: they only use the :class:`repro.store.base
-.ResultStore` protocol, so any pairing of local, memory and HTTP stores
-works.
+and a remote object store); ``prune`` evicts blobs older than a cutoff —
+never ones a shard manifest still references (the lifecycle layer in
+:mod:`repro.store.lifecycle` adds manifest-driven ``gc``/``verify``/
+``repair`` on top).  All of it is backend-agnostic: only the
+:class:`repro.store.base.ResultStore` protocol is used, so any pairing of
+local, memory and HTTP stores works.
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.store.base import ResultStore
+from repro.store.lifecycle import collect_references
 
 _AGE_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*([smhdw]?)\s*$", re.IGNORECASE)
 
@@ -44,6 +47,8 @@ class MirrorStats:
     blobs_skipped: int = 0
     blob_bytes_copied: int = 0
     manifests_copied: int = 0
+    quarantined_copied: int = 0
+    quarantined_skipped: int = 0
 
 
 def mirror(
@@ -52,11 +57,13 @@ def mirror(
     overwrite: bool = False,
     progress: Optional[Callable[[str], None]] = None,
 ) -> MirrorStats:
-    """Copy every blob and manifest of ``source`` into ``target``.
+    """Copy every blob, manifest and quarantined entry of ``source``.
 
     Blobs are content-addressed (the key *is* the content hash), so an
     existing target blob is skipped unless ``overwrite`` is set; manifests
     are mutable shard state and always overwritten with the source copy.
+    Quarantined entries are corruption *evidence* and travel too — a
+    ``store push`` must not silently launder a corrupt cache.
     """
     stats = MirrorStats()
     # One listing instead of a per-key exists() probe: a remote target
@@ -74,6 +81,18 @@ def mirror(
         stats.blob_bytes_copied += len(data)
         if progress is not None:
             progress(f"blob {key}")
+    quarantined_present = set() if overwrite else set(target.list_quarantined())
+    for key in source.list_quarantined():
+        if key in quarantined_present:
+            stats.quarantined_skipped += 1
+            continue
+        data = source.get_quarantined(key)
+        if data is None:
+            continue
+        target.put_quarantined(key, data)
+        stats.quarantined_copied += 1
+        if progress is not None:
+            progress(f"quarantined {key}")
     for name in source.list_manifests():
         payload = source.read_manifest(name)
         if payload is None:
@@ -93,6 +112,7 @@ class PruneStats:
     blob_bytes_freed: int = 0
     quarantined_removed: int = 0
     kept: int = 0
+    kept_referenced: int = 0
     unknown_age: int = 0
 
 
@@ -102,18 +122,31 @@ def prune(
     now: Optional[float] = None,
     dry_run: bool = False,
 ) -> PruneStats:
-    """Delete blobs older than the cutoff; quarantined blobs always go.
+    """Delete *unreferenced* blobs older than the cutoff.
 
-    Blobs without a modification time (a backend that cannot report one)
-    are never deleted — pruning must not guess.  Quarantined entries are
-    corrupt by definition and removed regardless of age.  Manifests are
-    left alone: they are tiny and a merge needs them after the blobs are
-    long gone.
+    Blobs a shard manifest still references are never evicted, whatever
+    their age — deleting one would break the sweep's ``merge``/resume
+    (the manifests report every task done but the cache cannot serve it).
+    An *unreadable* manifest therefore aborts the blob pass with
+    :class:`~repro.store.base.StoreError` (pruning must not guess what it
+    was pinning); quarantined entries — corrupt by definition, removed
+    regardless of age and independent of any reference — are cleared
+    first, so that cleanup still happens.  Blobs without a modification
+    time (a backend that cannot report one) are never deleted either.
+    Manifests are left alone: they are tiny, and deleting a manifest is
+    the deliberate act that releases its blobs to ``gc``.
     """
     cutoff = (time.time() if now is None else now) - older_than_seconds
     stats = PruneStats()
-    for key in store.list():
-        stat = store.stat(key)
+    for key in store.list_quarantined():
+        if not dry_run:
+            store.delete_quarantined(key)
+        stats.quarantined_removed += 1
+    live = collect_references(store).live_keys
+    for key, stat in store.blob_entries():
+        if key in live:
+            stats.kept_referenced += 1
+            continue
         if stat is None or stat.mtime is None:
             stats.unknown_age += 1
             continue
@@ -121,11 +154,7 @@ def prune(
             if not dry_run:
                 store.delete(key)
             stats.blobs_removed += 1
-            stats.blob_bytes_freed += stat.size
+            stats.blob_bytes_freed += stat.size or 0
         else:
             stats.kept += 1
-    for key in store.list_quarantined():
-        if not dry_run:
-            store.delete_quarantined(key)
-        stats.quarantined_removed += 1
     return stats

@@ -144,6 +144,11 @@ class TestShardedExecution:
         assert [r["key"] for r in manifest["tasks"]] == [t.resolved_key() for t in owned]
         assert all(r["status"] == "done" for r in manifest["tasks"])
         assert all(Path(r["cache_path"]).exists() for r in manifest["tasks"])
+        # v3: every done record carries the blob's SHA-256 content digest.
+        assert all(
+            isinstance(r["digest"], str) and len(r["digest"]) == 64
+            for r in manifest["tasks"]
+        )
 
     def test_custom_manifest_dir(self, tasks, tmp_path):
         cache, manifests = tmp_path / "cache", tmp_path / "m"
@@ -348,8 +353,9 @@ class TestInterruptAndFailureCleanup:
         assert pickles
         probe = SweepRunner(max_workers=1, cache_dir=cache)
         for path in pickles:
-            run, corrupt = probe._cache_load(path.stem)
+            run, corrupt, digest = probe._cache_load(path.stem)
             assert run is not None and not corrupt, f"torn cache entry {path.name}"
+            assert digest, f"cache entry {path.name} has no content digest"
 
 
 class TestPartialOutcomeConsumers:

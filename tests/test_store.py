@@ -10,6 +10,8 @@ shard → merge round-trips and corrupt-blob quarantine.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 import pickle
 import re
@@ -21,16 +23,22 @@ from repro.cli import main
 from repro.experiments.executors import MergeExecutor, ShardedExecutor
 from repro.experiments.sweep import SweepRunner, SweepTask, task_cache_key
 from repro.store import (
+    BlobIntegrityError,
     HTTPObjectStore,
     LocalFSStore,
     MemoryStore,
     StoreError,
     default_cache_dir,
+    gc,
     mirror,
     open_store,
     parse_age,
     prune,
+    repair,
     resolve_store,
+    unwrap_blob,
+    verify,
+    wrap_blob,
 )
 from repro.store.fake import ObjectStoreServer
 from repro.workloads.cirne import CirneWorkloadModel
@@ -171,6 +179,67 @@ class TestProtocol:
     def test_same_url_sees_same_objects(self, store_url):
         open_store(store_url).put("shared", b"v")
         assert open_store(store_url).get("shared") == b"v"
+
+    def test_stats_uses_listing_metadata_not_per_object_stats(self, store_url):
+        """``stats()`` over N objects must not fan out N ``_stat`` probes —
+        on the HTTP backend that was one HEAD round-trip per object."""
+        store = open_store(store_url)
+        for key in ("s1", "s2", "s3"):
+            store.put(key, b"12345")
+        store.write_manifest("m", {"a": 1})
+
+        def banned(name):  # pragma: no cover - only fires on regression
+            raise AssertionError(f"per-object _stat({name!r}) during stats()")
+
+        store._stat = banned
+        stats = store.stats()
+        assert stats.blobs == 3 and stats.blob_bytes == 15
+        assert stats.manifests == 1
+
+    def test_interrupted_quarantine_is_idempotent(self):
+        """A failed delete must not double-count the blob or lose the first
+        evidence capture; re-quarantining finishes the job."""
+
+        class FlakyDeleteStore(MemoryStore):
+            fail_deletes = False
+
+            def _delete(self, name):
+                if self.fail_deletes:
+                    raise StoreError(f"cannot delete {name!r}: injected")
+                return super()._delete(name)
+
+        store = FlakyDeleteStore("flaky-quarantine")
+        store.put("bad", b"original evidence")
+        store.fail_deletes = True
+        with pytest.raises(StoreError, match="stays visible to readers"):
+            store.quarantine("bad")
+        # Half-quarantined: evidence captured, original still live…
+        assert store.get("bad") == b"original evidence"
+        assert store.list_quarantined() == ["bad"]
+        # …but stats counts it once, as quarantined, not as a live blob too.
+        stats = store.stats()
+        assert stats.quarantined == 1 and stats.blobs == 0
+        # A retry completes the move without rewriting the first capture.
+        store.fail_deletes = False
+        store.put("bad", b"rewritten by a racing reader")
+        store.quarantine("bad")
+        assert store.get("bad") is None
+        assert store.get_quarantined("bad") == b"original evidence"
+
+    def test_quarantine_of_missing_blob_is_noop(self, store_url):
+        store = open_store(store_url)
+        store.quarantine("never-existed")
+        assert store.list_quarantined() == []
+
+    def test_quarantine_never_rewrites_existing_evidence(self, store_url):
+        """Contract shared by every backend (LocalFS renames, the default
+        copies): the first evidence capture wins across re-quarantines."""
+        store = open_store(store_url)
+        store.put_quarantined("bad", b"first capture")
+        store.put("bad", b"later corruption")
+        store.quarantine("bad")
+        assert store.get("bad") is None
+        assert store.get_quarantined("bad") == b"first capture"
 
 
 # --------------------------------------------------------------------- #
@@ -395,6 +464,321 @@ class TestTools:
         assert stats.blobs_removed == 1
         assert store.exists("k")
 
+    def test_prune_never_evicts_manifest_referenced_blobs(self, store_url, tasks):
+        """Age-only eviction must not break a live sharded sweep: blobs a
+        shard manifest references survive any --older-than cutoff."""
+        SweepRunner(
+            max_workers=1, store=store_url, executor=ShardedExecutor(0, 2)
+        ).run(tasks)
+        store = open_store(store_url)
+        store.put("orphan", b"unreferenced")
+        referenced = sorted(
+            task_cache_key(t) for i, t in enumerate(tasks) if i % 2 == 0
+        )
+        stats = prune(store, parse_age("7d"), now=time.time() + 30 * 86400)
+        assert stats.blobs_removed == 1  # the orphan only
+        assert stats.kept_referenced == len(referenced)
+        assert store.list() == referenced
+        merged = SweepRunner(
+            max_workers=1, store=store_url, executor=ShardedExecutor(1, 2)
+        ).run(tasks)
+        assert len(merged) == len(tasks)
+
+    def test_prune_clears_quarantine_even_with_unreadable_manifest(self, tmp_path):
+        """An unreadable manifest aborts the blob pass (pruning must not
+        guess what it pinned) but quarantine cleanup is independent of
+        references and happens first."""
+        store = LocalFSStore(tmp_path)
+        store.put("blob1234", b"x")
+        store.put("bad12345", b"corrupt")
+        store.quarantine("bad12345")
+        store.manifest_dir.mkdir(parents=True, exist_ok=True)
+        (store.manifest_dir / "torn.json").write_bytes(b"{not json")
+        with pytest.raises(StoreError, match="unreadable manifest"):
+            prune(store, 0.0, now=time.time() + 10)
+        assert store.list_quarantined() == []  # cleared before the abort
+        assert store.exists("blob1234")  # blob pass never ran
+
+    def test_mirror_copies_quarantined_evidence(self, tmp_path):
+        """``store push`` must not launder a corrupt cache: quarantined
+        entries travel with the blobs."""
+        src = LocalFSStore(tmp_path / "src")
+        dst = LocalFSStore(tmp_path / "dst")
+        src.put("bad12345", b"the corrupt bytes")
+        src.quarantine("bad12345")
+        src.put("good1234", b"fine")
+        stats = mirror(src, dst)
+        assert stats.blobs_copied == 1
+        assert stats.quarantined_copied == 1 and stats.quarantined_skipped == 0
+        assert dst.list_quarantined() == ["bad12345"]
+        assert dst.get_quarantined("bad12345") == b"the corrupt bytes"
+        again = mirror(src, dst)
+        assert again.quarantined_copied == 0 and again.quarantined_skipped == 1
+
+
+# --------------------------------------------------------------------- #
+# Blob integrity envelopes
+# --------------------------------------------------------------------- #
+class TestEnvelope:
+    def test_roundtrip(self):
+        data, digest = wrap_blob(b"payload")
+        payload, got = unwrap_blob(data)
+        assert payload == b"payload"
+        assert got == digest == hashlib.sha256(b"payload").hexdigest()
+
+    def test_legacy_blob_passes_through(self):
+        raw = pickle.dumps({"format": 2})
+        assert unwrap_blob(raw) == (raw, None)
+
+    def test_flipped_payload_byte_rejected(self):
+        enveloped, _ = wrap_blob(b"payload")
+        tampered = enveloped[:-1] + bytes([enveloped[-1] ^ 0xFF])
+        with pytest.raises(BlobIntegrityError, match="digest mismatch"):
+            unwrap_blob(tampered)
+
+    def test_truncation_rejected(self):
+        with pytest.raises(BlobIntegrityError, match="truncated"):
+            unwrap_blob(wrap_blob(b"payload")[0][:-2])
+
+    def test_missing_header_terminator_rejected(self):
+        with pytest.raises(BlobIntegrityError, match="no header terminator"):
+            unwrap_blob(b"repro-blob/1 sha256=" + b"0" * 64)
+
+    def test_future_envelope_version_rejected(self):
+        data = b"repro-blob/99 sha256=" + b"0" * 64 + b" size=1\nx"
+        with pytest.raises(BlobIntegrityError, match="version 99"):
+            unwrap_blob(data)
+
+    def test_forged_digest_rejected_even_when_payload_parses(self):
+        payload = pickle.dumps({"format": 2})
+        forged = (
+            b"repro-blob/1 sha256=" + b"0" * 64
+            + f" size={len(payload)}\n".encode() + payload
+        )
+        with pytest.raises(BlobIntegrityError, match="digest mismatch"):
+            unwrap_blob(forged)
+
+
+# --------------------------------------------------------------------- #
+# Lifecycle: gc / verify / repair, across every backend
+# --------------------------------------------------------------------- #
+class TestLifecycle:
+    def test_gc_never_deletes_manifest_referenced_blobs(
+        self, store_url, tasks, golden
+    ):
+        """The acceptance path: gc on a half-finished sharded sweep deletes
+        zero referenced blobs and the later merge is byte-identical."""
+        SweepRunner(
+            max_workers=1, store=store_url, executor=ShardedExecutor(0, 2)
+        ).run(tasks)
+        store = open_store(store_url)
+        store.put("orphan", b"unreferenced bytes")
+        owned = sorted(
+            task_cache_key(t) for i, t in enumerate(tasks) if i % 2 == 0
+        )
+        stats = gc(store, grace_seconds=0.0, now=time.time() + 86400)
+        assert stats.blobs_deleted == 1  # just the orphan, despite its age
+        assert stats.kept_referenced == len(owned)
+        assert stats.manifests_walked == 1
+        assert store.list() == owned
+        SweepRunner(
+            max_workers=1, store=store_url, executor=ShardedExecutor(1, 2)
+        ).run(tasks)
+        merged = SweepRunner(
+            max_workers=1, store=store_url, executor=MergeExecutor()
+        ).run(tasks)
+        assert merged.complete
+        assert _run_bytes(merged) == _run_bytes(golden)
+
+    def test_gc_dry_run_mutates_nothing(self, store_url, tasks):
+        SweepRunner(
+            max_workers=1, store=store_url, executor=ShardedExecutor(0, 2)
+        ).run(tasks)
+        store = open_store(store_url)
+        store.put("orphan", b"unreferenced bytes")
+        before = store._entries()
+        stats = gc(store, grace_seconds=0.0, now=time.time() + 86400, dry_run=True)
+        assert stats.blobs_deleted == 1
+        assert store._entries() == before
+
+    def test_gc_grace_protects_young_unreferenced_blobs(self, store_url):
+        store = open_store(store_url)
+        store.put("young", b"just written")
+        stats = gc(store, grace_seconds=3600.0)
+        assert stats.blobs_deleted == 0 and stats.kept_young == 1
+        stats = gc(store, grace_seconds=0.0, now=time.time() + 10)
+        assert stats.blobs_deleted == 1
+        assert store.list() == []
+
+    def test_gc_leaves_quarantined_evidence_alone(self, store_url):
+        store = open_store(store_url)
+        store.put("bad", b"evidence")
+        store.quarantine("bad")
+        gc(store, grace_seconds=0.0, now=time.time() + 86400)
+        assert store.list_quarantined() == ["bad"]
+
+    def test_gc_sweeps_stale_tmp_files(self, tmp_path):
+        """Crashed ``_write``s leak ``*.tmp`` files forever; gc reaps the
+        ones older than the grace period (blob and manifest namespaces)."""
+        store = LocalFSStore(tmp_path)
+        store.put("young", b"x")
+        store.write_manifest("m", {"tasks": []})
+        stale = time.time() - 7200
+        for leak in (tmp_path / "tmpleak1.tmp", store.manifest_dir / "tmpleak2.tmp"):
+            leak.write_bytes(b"crashed write")
+            os.utime(leak, (stale, stale))
+        fresh = tmp_path / "tmpfresh.tmp"  # an in-flight write: must survive
+        fresh.write_bytes(b"in flight")
+        stats = gc(store)  # default 1h grace
+        assert stats.temp_deleted == 2
+        assert not (tmp_path / "tmpleak1.tmp").exists()
+        assert not (store.manifest_dir / "tmpleak2.tmp").exists()
+        assert fresh.exists()
+        assert store.get("young") == b"x"
+
+    def test_gc_refuses_unreadable_manifest(self, tmp_path):
+        store = LocalFSStore(tmp_path)
+        store.put("blob", b"x")
+        (store.manifest_dir).mkdir(parents=True, exist_ok=True)
+        (store.manifest_dir / "torn.json").write_bytes(b"{not json")
+        with pytest.raises(StoreError, match="unreadable manifest"):
+            gc(store, grace_seconds=0.0, now=time.time() + 86400)
+        assert store.exists("blob")
+
+    # ------------------------------------------------------------------ #
+    def test_verify_quarantines_flipped_byte_blob(self, store_url, tasks):
+        SweepRunner(max_workers=1, store=store_url).run(tasks)
+        store = open_store(store_url)
+        victim = task_cache_key(tasks[0])
+        data = store.get(victim)
+        store.put(victim, data[:-1] + bytes([data[-1] ^ 0xFF]))
+        report = verify(store)
+        assert not report.clean
+        assert [entry["key"] for entry in report.corrupt] == [victim]
+        assert report.quarantined == [victim]
+        assert report.ok == len(tasks) - 1
+        assert store.get(victim) is None
+        assert store.list_quarantined() == [victim]
+        again = verify(store)
+        assert again.clean and again.checked == len(tasks) - 1
+
+    def test_verify_dry_run_reports_without_quarantining(self, store_url, tasks):
+        SweepRunner(max_workers=1, store=store_url).run(tasks)
+        store = open_store(store_url)
+        victim = task_cache_key(tasks[1])
+        tampered = store.get(victim)[:-1]
+        store.put(victim, tampered)
+        report = verify(store, dry_run=True)
+        assert [entry["key"] for entry in report.corrupt] == [victim]
+        assert report.quarantined == []
+        assert store.get(victim) == tampered
+
+    def test_cache_load_verifies_digest_on_read(self, store_url, tasks, golden):
+        """A forged digest is caught by the read path even when the pickled
+        payload itself still loads — the sweep recomputes the task."""
+        SweepRunner(max_workers=1, store=store_url).run(tasks)
+        store = open_store(store_url)
+        victim = task_cache_key(tasks[2])
+        payload, _ = unwrap_blob(store.get(victim))
+        forged = (
+            b"repro-blob/1 sha256=" + b"0" * 64
+            + f" size={len(payload)}\n".encode() + payload
+        )
+        store.put(victim, forged)
+        result = SweepRunner(max_workers=1, store=store_url).run(tasks)
+        assert result.cache_hits == len(tasks) - 1
+        assert result.cache_corruptions == 1
+        assert store.list_quarantined() == [victim]
+        assert _run_bytes(result) == _run_bytes(golden)
+
+    def test_pre_envelope_blobs_still_load(self, store_url, tasks, golden):
+        """Back-compat: blobs written before the envelope existed are
+        ordinary cache hits, and verify counts them as legacy."""
+        SweepRunner(max_workers=1, store=store_url).run(tasks)
+        store = open_store(store_url)
+        for key in store.list():
+            payload, _ = unwrap_blob(store.get(key))
+            store.put(key, payload)  # the pre-envelope on-disk layout
+        result = SweepRunner(max_workers=1, store=store_url).run(tasks)
+        assert result.cache_hits == len(tasks)
+        assert result.cache_corruptions == 0
+        assert _run_bytes(result) == _run_bytes(golden)
+        report = verify(store)
+        assert report.clean
+        assert report.legacy == len(tasks) and report.ok == 0
+
+    def test_verify_reports_drift_against_manifest_digest(self, tmp_path):
+        store = LocalFSStore(tmp_path)
+        key = "a" * 8
+        blob, digest = wrap_blob(b"original payload")
+        store.put(key, blob)
+        store.write_manifest(
+            "sweep.shard-1-of-1",
+            {"tasks": [{"cache_key": key, "digest": digest, "status": "done"}]},
+        )
+        replacement, other_digest = wrap_blob(b"recomputed payload")
+        store.put(key, replacement)
+        report = verify(store)
+        assert report.clean  # drift is informational, never quarantined
+        assert report.drift == [
+            {"key": key, "manifest": digest, "blob": other_digest}
+        ]
+        assert store.get(key) == replacement
+
+    def test_verify_reports_missing_referenced_blobs(self, tmp_path):
+        store = LocalFSStore(tmp_path)
+        store.write_manifest(
+            "sweep.shard-1-of-1",
+            {"tasks": [{"cache_key": "gone" * 2, "status": "done"}]},
+        )
+        report = verify(store)
+        assert report.missing_referenced == ["gone" * 2]
+
+    # ------------------------------------------------------------------ #
+    def test_repair_refetches_quarantined_blobs_from_mirror(
+        self, store_url, tasks, tmp_path
+    ):
+        SweepRunner(max_workers=1, store=store_url).run(tasks)
+        store = open_store(store_url)
+        mirror_store = LocalFSStore(tmp_path / "mirror")
+        mirror(store, mirror_store)
+        victim = task_cache_key(tasks[0])
+        good = store.get(victim)
+        store.put(victim, good[:-3])  # truncate: size check fails
+        assert verify(store).quarantined == [victim]
+        stats = repair(store, mirror_store)
+        assert stats.repaired == 1 and stats.repaired_keys == [victim]
+        assert stats.missing_in_source == 0 and stats.still_corrupt == 0
+        assert store.get(victim) == good
+        assert store.list_quarantined() == []
+        rerun = SweepRunner(max_workers=1, store=store_url).run(tasks)
+        assert rerun.cache_hits == len(tasks)
+
+    def test_repair_leaves_unfixable_keys_quarantined(self, tmp_path):
+        store = LocalFSStore(tmp_path / "store")
+        source = LocalFSStore(tmp_path / "mirror")
+        for key, mirrored in (("missing1", None), ("badcopy1", b"x")):
+            store.put(key, b"corrupt")
+            store.quarantine(key)
+            if mirrored is not None:
+                source.put(key, wrap_blob(mirrored)[0][:-1])  # corrupt there too
+        stats = repair(store, source)
+        assert stats.repaired == 0
+        assert stats.missing_in_source == 1 and stats.still_corrupt == 1
+        assert store.list_quarantined() == ["badcopy1", "missing1"]
+
+    def test_repair_dry_run_changes_nothing(self, tmp_path):
+        store = LocalFSStore(tmp_path / "store")
+        source = LocalFSStore(tmp_path / "mirror")
+        blob, _ = wrap_blob(b"payload")
+        source.put("fixme12", blob)
+        store.put("fixme12", blob[:-1])
+        store.quarantine("fixme12")
+        stats = repair(store, source, dry_run=True)
+        assert stats.repaired == 1
+        assert store.get("fixme12") is None
+        assert store.list_quarantined() == ["fixme12"]
+
 
 # --------------------------------------------------------------------- #
 # HTTP specifics
@@ -427,6 +811,32 @@ class TestHTTPStore:
             assert store.list() == keys
             stats = store.stats()
             assert stats.blobs == 8
+
+    def test_missing_content_length_is_unknown_size(self, monkeypatch):
+        """A HEAD without a usable Content-Length must report the size as
+        unknown (None), not 0 — 0 corrupts prune/stats byte totals."""
+        store = HTTPObjectStore("s3+http://example.invalid/bucket")
+        for headers in (
+            {"Last-Modified": "Wed, 21 Oct 2015 07:28:00 GMT"},
+            {"Content-Length": "garbage"},
+            {"Content-Length": "-1"},
+        ):
+            monkeypatch.setattr(
+                store, "_request", lambda method, url, data=None, h=headers: (b"", h)
+            )
+            stat = store._stat("k")
+            assert stat is not None
+            assert stat.size is None, f"size not unknown for {headers}"
+
+    def test_listing_carries_size_and_mtime(self, server):
+        store = open_store(server.store_url("entries-meta"))
+        store.put("k", b"12345")
+        entries = store._entries()
+        assert len(entries) == 1
+        name, stat = entries[0]
+        assert name == "k.pkl"
+        assert stat is not None and stat.size == 5
+        assert stat.mtime is not None and abs(stat.mtime - time.time()) < 120
 
     def test_unreachable_endpoint_is_store_error(self):
         store = HTTPObjectStore("s3+http://127.0.0.1:1/nothing", timeout=0.2, retries=0)
@@ -506,6 +916,57 @@ class TestStoreCLI:
     def test_bad_age_is_clean_error(self, tmp_path, capsys):
         assert main(["store", "prune", str(tmp_path), "--older-than", "soon"]) == 2
         assert "invalid age" in capsys.readouterr().err
+
+    def test_gc_cli_dry_run_then_delete(self, tmp_path, capsys):
+        store = LocalFSStore(tmp_path)
+        store.put("orphan99", b"xx")
+        stale = time.time() - 7200
+        os.utime(store.blob_path("orphan99"), (stale, stale))
+        assert main(["store", "gc", str(tmp_path), "--dry-run"]) == 0
+        assert "would delete 1 unreferenced blob(s)" in capsys.readouterr().out
+        assert store.exists("orphan99")
+        assert main(["store", "gc", str(tmp_path)]) == 0
+        assert "deleted 1 unreferenced blob(s)" in capsys.readouterr().out
+        assert not store.exists("orphan99")
+
+    def test_gc_cli_bad_grace_is_clean_error(self, tmp_path, capsys):
+        assert main(["store", "gc", str(tmp_path), "--grace", "soon"]) == 2
+        assert "invalid age" in capsys.readouterr().err
+
+    def test_verify_cli_json_exit_code_and_quarantine(self, tmp_path, capsys):
+        store = LocalFSStore(tmp_path)
+        good, _ = wrap_blob(b"payload")
+        store.put("goodblob", good)
+        store.put("badblob1", good[:-1])  # truncated
+        assert main(["store", "verify", str(tmp_path), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["clean"] is False
+        assert [entry["key"] for entry in report["corrupt"]] == ["badblob1"]
+        assert report["ok"] == 1
+        assert store.list_quarantined() == ["badblob1"]
+        store.delete_quarantined("badblob1")
+        assert main(["store", "verify", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "corrupt:  0" in out and "ok:       1" in out
+
+    def test_repair_cli_round_trip(self, tmp_path, capsys):
+        store = LocalFSStore(tmp_path / "store")
+        source = LocalFSStore(tmp_path / "mirror")
+        blob, _ = wrap_blob(b"payload")
+        source.put("fixme123", blob)
+        store.put("fixme123", blob[:-1])
+        store.quarantine("fixme123")
+        assert main(["store", "repair", str(tmp_path / "store"),
+                     "--from", str(tmp_path / "mirror")]) == 0
+        assert "repaired 1 quarantined blob(s)" in capsys.readouterr().out
+        assert store.get("fixme123") == blob
+        assert store.list_quarantined() == []
+        # A mirror that cannot supply the key leaves it quarantined, exit 1.
+        store.put("lost1234", b"corrupt")
+        store.quarantine("lost1234")
+        assert main(["store", "repair", str(tmp_path / "store"),
+                     "--from", str(tmp_path / "mirror")]) == 1
+        assert "1 missing in the mirror" in capsys.readouterr().out
 
     def test_missing_url_is_clean_error(self, monkeypatch, capsys):
         monkeypatch.delenv("REPRO_STORE_URL", raising=False)

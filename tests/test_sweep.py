@@ -139,12 +139,14 @@ class TestCache:
     def test_stale_format_is_miss_not_corruption(self, tasks, tmp_path):
         import pickle as _pickle
 
+        from repro.store import unwrap_blob, wrap_blob
+
         runner = SweepRunner(max_workers=1, cache_dir=tmp_path)
         runner.run(tasks)
         for path in tmp_path.glob("*.pkl"):
-            payload = _pickle.loads(path.read_bytes())
+            payload = _pickle.loads(unwrap_blob(path.read_bytes())[0])
             payload["format"] = -1
-            path.write_bytes(_pickle.dumps(payload))
+            path.write_bytes(wrap_blob(_pickle.dumps(payload))[0])
         result = SweepRunner(max_workers=1, cache_dir=tmp_path).run(tasks)
         assert result.cache_hits == 0
         assert result.cache_corruptions == 0
