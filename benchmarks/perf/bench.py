@@ -1,0 +1,276 @@
+#!/usr/bin/env python
+"""Pinned-workload performance harness (BENCH_6).
+
+Measures the simulation core's throughput (jobs/sec, events/sec) and memory
+high-water mark on fixed workloads and writes the results to
+``BENCH_6.json`` so the perf trajectory is tracked next to correctness:
+
+* ``swf_replay`` — the committed ``examples/sample.swf`` log tiled end to
+  end and replayed in streaming mode (``retain_jobs=False``) under
+  SD-Policy; the CI smoke preset.
+* ``swf_100k`` — the same replay tiled to >= 100k jobs, demonstrating that
+  a streaming run's memory stays bounded by the metric buffers (about 40
+  bytes per job) instead of retained ``Job`` objects.
+* ``mixed_paper_scale_cell`` — one cell of the
+  ``examples/mixed_paper_scale.json`` grid (workload 1, 50/50
+  rigid/malleable, MAXSD 10) through the regular ``run_workload`` path.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench.py \
+        [--presets swf_replay,swf_100k,mixed_paper_scale_cell] \
+        [--out benchmarks/output/BENCH_6.json] \
+        [--check --baseline benchmarks/perf/baseline.json]
+
+``--check`` compares jobs/sec against the committed baseline and exits
+non-zero on a regression beyond the tolerance (default 25%), so CI fails on
+speed regressions like it fails on correctness regressions.
+``REPRO_BENCH_SCALE_FACTOR`` scales the workload sizes up towards paper
+scale (it never shrinks the pinned CI presets below their committed size).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import resource
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.runtime_model import IdealRuntimeModel  # noqa: E402
+from repro.core.sd_policy import SDPolicyConfig, SDPolicyScheduler  # noqa: E402
+from repro.experiments.runner import run_workload  # noqa: E402
+from repro.simulator.cluster import Cluster  # noqa: E402
+from repro.simulator.job import Job  # noqa: E402
+from repro.simulator.simulation import Simulation  # noqa: E402
+from repro.workloads.presets import build_workload  # noqa: E402
+from repro.workloads.swf import read_swf  # noqa: E402
+
+SAMPLE_SWF = REPO_ROOT / "examples" / "sample.swf"
+DEFAULT_OUT = REPO_ROOT / "benchmarks" / "output" / "BENCH_6.json"
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "perf" / "baseline.json"
+
+
+def _scale_factor() -> float:
+    return max(1.0, float(os.environ.get("REPRO_BENCH_SCALE_FACTOR", "1.0")))
+
+
+def _peak_rss_kib() -> int:
+    """Process peak RSS in KiB (ru_maxrss unit on Linux)."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def tiled_swf_jobs(tiles: int, malleable_fraction: float = 1.0, seed: int = 0):
+    """Lazily yield the sample SWF log tiled ``tiles`` times end to end.
+
+    Each tile shifts submit times by one full submission period (so offered
+    load is preserved) and job ids by a fixed stride (so ids stay unique);
+    jobs are yielded in globally nondecreasing submit order, ready for
+    ``Simulation.submit_stream``.  Returns ``(workload, generator)``.
+    """
+    workload = read_swf(SAMPLE_SWF)
+    base = workload.to_jobs(malleable_fraction=malleable_fraction, seed=seed)
+    submits = [job.submit_time for job in base]
+    span = max(submits) - min(submits)
+    period = span * (len(base) + 1) / len(base)
+    id_stride = max(job.job_id for job in base) + 1
+
+    def generate() -> Iterator[Job]:
+        for tile in range(tiles):
+            offset = tile * period
+            for job in base:
+                yield Job(
+                    job_id=job.job_id + tile * id_stride,
+                    submit_time=job.submit_time + offset,
+                    requested_nodes=job.requested_nodes,
+                    requested_time=job.requested_time,
+                    static_runtime=job.static_runtime,
+                    cpus_per_node=job.cpus_per_node,
+                    malleable=job.malleable,
+                    tasks_per_node=job.tasks_per_node,
+                )
+
+    return workload, generate()
+
+
+def _swf_replay_preset(tiles: int) -> Dict[str, float]:
+    workload, stream = tiled_swf_jobs(tiles)
+    cluster = Cluster(
+        num_nodes=workload.system_nodes,
+        sockets=2,
+        cores_per_socket=max(1, workload.cpus_per_node // 2),
+    )
+    scheduler = SDPolicyScheduler(SDPolicyConfig(max_slowdown=10.0))
+    sim = Simulation(
+        cluster,
+        scheduler,
+        runtime_model=IdealRuntimeModel(),
+        retain_jobs=False,
+    )
+    sim.submit_stream(stream)
+    rss_before = _peak_rss_kib()
+    started = time.perf_counter()
+    result = sim.run()
+    elapsed = time.perf_counter() - started
+    rss_after = _peak_rss_kib()
+    jobs = result.num_jobs
+    expected = tiles * len(workload)
+    if jobs != expected:
+        raise RuntimeError(f"swf replay completed {jobs} of {expected} jobs")
+    return {
+        "jobs": jobs,
+        "total_events": result.total_events,
+        "wall_seconds": elapsed,
+        "jobs_per_sec": jobs / elapsed,
+        "events_per_sec": result.total_events / elapsed,
+        "peak_rss_kib": rss_after,
+        "rss_delta_kib": rss_after - rss_before,
+        "streaming_buffer_bytes": sim.streaming.buffer_bytes,
+        "retain_jobs": False,
+        "makespan": result.makespan,
+        "avg_slowdown": result.avg_slowdown,
+    }
+
+
+def preset_swf_replay() -> Dict[str, float]:
+    """CI smoke preset: the sample log tiled x10 (2000 jobs), streaming."""
+    return _swf_replay_preset(tiles=int(round(10 * _scale_factor())))
+
+
+def preset_swf_100k() -> Dict[str, float]:
+    """The >=100k-job streaming replay (memory-bound demonstration)."""
+    return _swf_replay_preset(tiles=int(round(500 * _scale_factor())))
+
+
+def preset_mixed_paper_scale_cell() -> Dict[str, float]:
+    """One mixed_paper_scale grid cell: workload 1, 50/50 mix, MAXSD 10."""
+    scale = min(1.0, 0.02 * _scale_factor())
+    workload = build_workload(1, scale=scale)
+    rss_before = _peak_rss_kib()
+    run = run_workload(
+        workload,
+        policy="sd_policy",
+        runtime_model="ideal",
+        malleable_fraction=0.5,
+        max_slowdown=10.0,
+        sharing_factor=0.5,
+        seed=0,
+        retain_jobs=False,
+    )
+    rss_after = _peak_rss_kib()
+    result = run.result
+    elapsed = run.wall_clock_seconds
+    return {
+        "jobs": result.num_jobs,
+        "total_events": result.total_events,
+        "wall_seconds": elapsed,
+        "jobs_per_sec": result.num_jobs / elapsed,
+        "events_per_sec": result.total_events / elapsed,
+        "peak_rss_kib": rss_after,
+        "rss_delta_kib": rss_after - rss_before,
+        "retain_jobs": False,
+        "makespan": result.makespan,
+        "avg_slowdown": run.metrics.avg_slowdown,
+    }
+
+
+PRESETS: Dict[str, Callable[[], Dict[str, float]]] = {
+    "swf_replay": preset_swf_replay,
+    "swf_100k": preset_swf_100k,
+    "mixed_paper_scale_cell": preset_mixed_paper_scale_cell,
+}
+
+
+def check_against_baseline(
+    results: Dict[str, Dict[str, float]],
+    baseline_path: Path,
+    tolerance: float,
+) -> List[str]:
+    """Regressions vs the committed baseline (empty list when clean)."""
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    failures: List[str] = []
+    for name, measured in results.items():
+        pinned = baseline.get("presets", {}).get(name)
+        if pinned is None:
+            continue
+        floor = pinned["jobs_per_sec"] * (1.0 - tolerance)
+        if measured["jobs_per_sec"] < floor:
+            failures.append(
+                f"{name}: {measured['jobs_per_sec']:.0f} jobs/sec is below the "
+                f"baseline floor {floor:.0f} "
+                f"(baseline {pinned['jobs_per_sec']:.0f}, tolerance {tolerance:.0%})"
+            )
+        rss_cap = pinned.get("max_rss_delta_kib")
+        if rss_cap is not None and measured["rss_delta_kib"] > rss_cap:
+            failures.append(
+                f"{name}: RSS grew {measured['rss_delta_kib']} KiB during the "
+                f"run, above the {rss_cap} KiB cap — jobs are likely being "
+                "retained despite retain_jobs=False"
+            )
+    return failures
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--presets",
+        default=",".join(PRESETS),
+        help=f"comma-separated subset of: {', '.join(PRESETS)}",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument("--check", action="store_true",
+                        help="fail on regression against --baseline")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed jobs/sec regression fraction (default 0.25)")
+    args = parser.parse_args(argv)
+
+    names = [n.strip() for n in args.presets.split(",") if n.strip()]
+    unknown = [n for n in names if n not in PRESETS]
+    if unknown:
+        parser.error(f"unknown preset(s): {', '.join(unknown)}")
+
+    results: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        print(f"[bench] running {name} ...", flush=True)
+        results[name] = PRESETS[name]()
+        r = results[name]
+        print(
+            f"[bench] {name}: {r['jobs']} jobs, {r['total_events']} events in "
+            f"{r['wall_seconds']:.2f}s -> {r['jobs_per_sec']:.0f} jobs/sec, "
+            f"peak RSS {r['peak_rss_kib']} KiB (delta {r['rss_delta_kib']} KiB)",
+            flush=True,
+        )
+
+    payload = {
+        "bench_id": 6,
+        "schema": 1,
+        "timestamp": time.time(),
+        "scale_factor": _scale_factor(),
+        "presets": results,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"[bench] wrote {args.out}")
+
+    if args.check:
+        if not args.baseline.exists():
+            print(f"[bench] baseline {args.baseline} missing", file=sys.stderr)
+            return 2
+        failures = check_against_baseline(results, args.baseline, args.tolerance)
+        for failure in failures:
+            print(f"[bench] REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("[bench] no regression against baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -221,10 +221,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         workload,
         args.policy,
         runtime_model=args.runtime_model,
+        retain_jobs=args.retain_jobs,
         max_slowdown=_parse_maxsd(args.maxsd),
         sharing_factor=args.sharing_factor,
     ) if args.policy.startswith("sd") else run_workload(
-        workload, args.policy, runtime_model=args.runtime_model
+        workload, args.policy, runtime_model=args.runtime_model,
+        retain_jobs=args.retain_jobs,
     )
     print(metrics_table({run.label: run.metrics}, title=f"{workload.name} ({len(workload)} jobs)"))
     print(f"wall-clock: {run.wall_clock_seconds:.1f}s  scheduler stats: {run.scheduler_stats}")
@@ -235,11 +237,15 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.analysis.comparison import improvement_percent
 
     workload = _load_workload(args)
-    static = run_workload(workload, "static_backfill", runtime_model=args.runtime_model)
+    static = run_workload(
+        workload, "static_backfill", runtime_model=args.runtime_model,
+        retain_jobs=args.retain_jobs,
+    )
     sd = run_workload(
         workload,
         "sd_policy",
         runtime_model=args.runtime_model,
+        retain_jobs=args.retain_jobs,
         max_slowdown=_parse_maxsd(args.maxsd),
         sharing_factor=args.sharing_factor,
     )
@@ -582,6 +588,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--runtime-model", default="ideal", choices=["ideal", "worst_case"])
     p_run.add_argument("--maxsd", default="dynamic", help="MAX_SLOWDOWN: number, 'inf' or 'dynamic'")
     p_run.add_argument("--sharing-factor", type=float, default=0.5)
+    p_run.add_argument(
+        "--retain-jobs", action=argparse.BooleanOptionalAction, default=True,
+        help="keep per-job records (default); --no-retain-jobs streams the run "
+             "in near-constant memory (aggregates only)",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_cmp = sub.add_parser("compare", help="compare SD-Policy against static backfill")
@@ -589,6 +600,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--runtime-model", default="ideal", choices=["ideal", "worst_case"])
     p_cmp.add_argument("--maxsd", default="dynamic")
     p_cmp.add_argument("--sharing-factor", type=float, default=0.5)
+    p_cmp.add_argument(
+        "--retain-jobs", action=argparse.BooleanOptionalAction, default=True,
+        help="keep per-job records (default); --no-retain-jobs streams both "
+             "runs in near-constant memory (aggregates only)",
+    )
     p_cmp.set_defaults(func=_cmd_compare)
 
     p_sweep = sub.add_parser(

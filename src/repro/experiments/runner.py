@@ -89,6 +89,7 @@ def run_workload(
     contention_coefficient: Optional[float] = None,
     label: Optional[str] = None,
     seed: int = 0,
+    retain_jobs: bool = True,
     **policy_kwargs,
 ) -> PolicyRun:
     """Simulate a workload under a policy and return metrics.
@@ -99,6 +100,13 @@ def run_workload(
     real-run interference model, with an optional
     ``contention_coefficient``), and the malleable fraction of the workload
     (all-malleable in the paper's simulations).
+
+    With ``retain_jobs=False`` the run streams: jobs are materialised
+    lazily, folded into aggregates at completion and discarded, so memory
+    stays near-constant in the job count.  ``PolicyRun.metrics`` carries the
+    same values either way (bit-identical summation order), but
+    ``PolicyRun.jobs`` is empty, so per-job reports (heatmaps, daily
+    series, real-run tables) need the default retained mode.
     """
     scheduler = make_scheduler(policy, **policy_kwargs)
     if power_model is _DEFAULT_POWER_MODEL:
@@ -128,20 +136,34 @@ def run_workload(
         runtime_model=runtime_model or WorstCaseRuntimeModel(),
         power_model=power_model,
         use_requested_time_for_predictions=use_requested_time_for_predictions,
+        retain_jobs=retain_jobs,
     )
     if hasattr(runtime_model, "bind_cluster"):
         runtime_model.bind_cluster(cluster, sim.jobs)
-    jobs = workload.to_jobs(
+    job_stream = workload.iter_jobs(
         cpus_per_node=cluster.cpus_per_node,
         malleable_fraction=malleable_fraction,
         tasks_per_node=tasks_per_node,
         seed=seed,
     )
-    sim.submit_jobs(jobs)
+    if retain_jobs:
+        sim.submit_jobs(job_stream)
+    else:
+        sim.submit_stream(job_stream)
     started = time.perf_counter()
     result = sim.run()
     elapsed = time.perf_counter() - started
-    metrics = compute_metrics(result.jobs, energy_joules=result.energy_joules)
+    if retain_jobs:
+        metrics = compute_metrics(
+            result.jobs,
+            energy_joules=result.energy_joules,
+            first_submit=result.first_submit,
+        )
+    else:
+        metrics = sim.streaming.workload_metrics(
+            energy_joules=result.energy_joules,
+            first_submit=result.first_submit,
+        )
     stats = scheduler.stats() if hasattr(scheduler, "stats") else {}
     return PolicyRun(
         label=label or result.scheduler_name,

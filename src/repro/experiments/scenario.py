@@ -698,7 +698,15 @@ def _static_sd_pair(outcome: ScenarioOutcome) -> Tuple[PolicyRun, PolicyRun]:
             f"report {outcome.spec.report!r} needs a baseline and exactly one "
             f"grid cell; got {len(outcome.cells)} cells"
         )
-    return baseline, outcome.cells[0].run
+    pair = (baseline, outcome.cells[0].run)
+    for run in pair:
+        if not run.jobs and run.result.num_jobs > 0:
+            raise ScenarioError(
+                f"report {outcome.spec.report!r} needs per-job records but run "
+                f"{run.label!r} was executed with retain_jobs=False; re-run the "
+                "scenario with retained jobs"
+            )
+    return pair
 
 
 def scenario_heatmaps(outcome: ScenarioOutcome) -> Dict[str, CategoryGrid]:

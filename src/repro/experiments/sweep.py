@@ -96,7 +96,9 @@ __all__ = [
 
 #: Bump when the cached payload layout *or the cache-key encoding* changes;
 #: old entries are then misses.  v2: non-finite kwarg floats canonicalised.
-CACHE_FORMAT_VERSION = 2
+#: v3: SimulationResult gained first_submit/completed_jobs fields and
+#: compute_metrics is anchored at the run-level first submit.
+CACHE_FORMAT_VERSION = 3
 
 
 @dataclass

@@ -21,11 +21,14 @@ from repro.metrics.aggregates import (
 )
 from repro.metrics.energy import LinearPowerModel, workload_energy
 from repro.metrics.heatmap import CategoryGrid, category_heatmap, heatmap_ratio
+from repro.metrics.streaming import ChunkedFloatBuffer, StreamingMetrics
 from repro.metrics.timeseries import daily_malleable_counts, daily_slowdown
 
 __all__ = [
     "CategoryGrid",
+    "ChunkedFloatBuffer",
     "LinearPowerModel",
+    "StreamingMetrics",
     "WorkloadMetrics",
     "average_response_time",
     "average_slowdown",

@@ -14,6 +14,7 @@ simulation results and to the real-run emulation.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -27,14 +28,22 @@ def _completed(jobs: Iterable[Job]) -> List[Job]:
     return done
 
 
-def makespan(jobs: Iterable[Job]) -> float:
-    """Last end time minus first arrival time (0 for an empty set)."""
+def makespan(jobs: Iterable[Job], first_submit: Optional[float] = None) -> float:
+    """Last end time minus the run's first arrival time (0 for an empty set).
+
+    ``first_submit`` anchors the origin at the *run-level* first submission.
+    Without it the origin falls back to the earliest submit among the
+    completed jobs — which silently drifts late whenever the
+    earliest-submitted job was dropped or never finished, disagreeing with
+    :meth:`repro.simulator.simulation.Simulation.result`.  Pass the
+    simulation's recorded first submit whenever it is available.
+    """
     done = _completed(jobs)
     if not done:
         return 0.0
-    first_arrival = min(j.submit_time for j in done)
+    origin = min(j.submit_time for j in done) if first_submit is None else first_submit
     last_end = max(j.end_time for j in done)
-    return last_end - first_arrival
+    return max(0.0, last_end - origin)
 
 
 def average_response_time(jobs: Iterable[Job]) -> float:
@@ -107,10 +116,45 @@ class WorkloadMetrics:
         return out
 
 
-def compute_metrics(jobs: Iterable[Job], energy_joules: float = 0.0) -> WorkloadMetrics:
-    """Compute the full :class:`WorkloadMetrics` for a set of completed jobs."""
-    done = _completed(jobs)
-    if not done:
+def compute_metrics(
+    jobs: Iterable[Job],
+    energy_joules: float = 0.0,
+    first_submit: Optional[float] = None,
+) -> WorkloadMetrics:
+    """Compute the full :class:`WorkloadMetrics` for a set of completed jobs.
+
+    One pass over the jobs collects every per-metric series and counter;
+    the NumPy reductions then see the same values in the same order as the
+    previous per-metric passes, so the outputs are bit-identical.
+    ``first_submit`` anchors the makespan at the run-level first submission
+    (see :func:`makespan`).
+    """
+    responses: List[float] = []
+    waits: List[float] = []
+    slowdowns_list: List[float] = []
+    bounded: List[float] = []
+    runtimes: List[float] = []
+    malleable_scheduled = 0
+    mate_jobs = 0
+    min_submit = math.inf
+    max_end = -math.inf
+    for job in jobs:
+        if job.end_time is None:
+            continue
+        responses.append(job.response_time)
+        waits.append(job.wait_time)
+        slowdowns_list.append(job.slowdown)
+        bounded.append(job.bounded_slowdown(10.0))
+        runtimes.append(job.actual_runtime)
+        if job.scheduled_malleable:
+            malleable_scheduled += 1
+        if job.was_mate:
+            mate_jobs += 1
+        if job.submit_time < min_submit:
+            min_submit = job.submit_time
+        if job.end_time > max_end:
+            max_end = job.end_time
+    if not responses:
         return WorkloadMetrics(
             num_jobs=0,
             makespan=0.0,
@@ -125,18 +169,19 @@ def compute_metrics(jobs: Iterable[Job], energy_joules: float = 0.0) -> Workload
             mate_jobs=0,
             energy_joules=energy_joules,
         )
-    slowdowns = np.array([j.slowdown for j in done])
+    origin = min_submit if first_submit is None else first_submit
+    slowdowns = np.asarray(slowdowns_list, dtype=np.float64)
     return WorkloadMetrics(
-        num_jobs=len(done),
-        makespan=makespan(done),
-        avg_response_time=average_response_time(done),
-        avg_wait_time=average_wait_time(done),
+        num_jobs=len(responses),
+        makespan=max(0.0, max_end - origin),
+        avg_response_time=float(np.mean(responses)),
+        avg_wait_time=float(np.mean(waits)),
         avg_slowdown=float(np.mean(slowdowns)),
-        avg_bounded_slowdown=average_bounded_slowdown(done),
+        avg_bounded_slowdown=float(np.mean(bounded)),
         median_slowdown=float(np.median(slowdowns)),
         p95_slowdown=float(np.percentile(slowdowns, 95)),
-        avg_runtime=float(np.mean([j.actual_runtime for j in done])),
-        malleable_scheduled=sum(1 for j in done if j.scheduled_malleable),
-        mate_jobs=sum(1 for j in done if j.was_mate),
+        avg_runtime=float(np.mean(runtimes)),
+        malleable_scheduled=malleable_scheduled,
+        mate_jobs=mate_jobs,
         energy_joules=energy_joules,
     )

@@ -152,6 +152,27 @@ class EventQueue:
         self._forget(event)
         return event
 
+    def pop_batch(self) -> List[Event]:
+        """Pop every live event sharing the earliest timestamp, in order.
+
+        The heap already yields ``(time, type priority, serial)`` order, so
+        the returned batch needs no re-sort: within one instant, ends come
+        first, then submits, then schedule markers, FIFO within each kind.
+        Returns an empty list when no live events remain.
+        """
+        self._discard_stale()
+        heap = self._heap
+        if not heap:
+            return []
+        first_time = heap[0].time
+        batch: List[Event] = []
+        while heap and heap[0].time == first_time:
+            event = heapq.heappop(heap)
+            self._forget(event)
+            batch.append(event)
+            self._discard_stale()
+        return batch
+
     def peek(self) -> Optional[Event]:
         """Return the earliest live event without removing it (or ``None``)."""
         self._discard_stale()

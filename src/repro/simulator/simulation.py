@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.metrics.streaming import StreamingMetrics
 from repro.simulator.cluster import Cluster
 from repro.simulator.engine import Event, EventQueue, EventType
 from repro.simulator.job import Job, JobState
@@ -112,11 +113,21 @@ class SimulationResult:
     mate_jobs: int
     scheduler_name: str
     total_events: int
+    # Run-level first submission time — the makespan origin.  Downstream
+    # metrics must anchor at this value rather than re-deriving it from
+    # ``jobs`` (which drifts when the earliest-submitted job never finished).
+    first_submit: float = 0.0
+    # Completed-job count, independent of whether jobs were retained.  With
+    # ``retain_jobs=False`` the :attr:`jobs` list is empty but this still
+    # reports the true count.
+    completed_jobs: Optional[int] = None
     extra: dict = field(default_factory=dict)
 
     @property
     def num_jobs(self) -> int:
         """Number of completed jobs in the run."""
+        if self.completed_jobs is not None:
+            return self.completed_jobs
         return len(self.jobs)
 
 
@@ -144,6 +155,13 @@ class Simulation:
         time estimation predicts running jobs to end at
         ``start + requested_time``; if False the simulator's exact end times
         are used (oracle predictions).
+    retain_jobs:
+        If True (default) completed :class:`Job` objects are kept in
+        :attr:`completed` and returned in ``result().jobs``.  If False each
+        job is folded into :attr:`streaming` at completion and then
+        discarded, so memory stays near-constant in the job count; the
+        aggregate fields of the result are unchanged, but per-job
+        post-processing (heatmaps, daily series) is unavailable.
     """
 
     #: Sentinel so ``power_model=None`` (disable energy accounting) stays
@@ -158,6 +176,7 @@ class Simulation:
         runtime_model=None,
         power_model=_DEFAULT_POWER_MODEL,
         use_requested_time_for_predictions: bool = True,
+        retain_jobs: bool = True,
     ) -> None:
         self.cluster = cluster
         self.scheduler = scheduler
@@ -166,17 +185,28 @@ class Simulation:
             power_model = _DefaultPowerModel()
         self.power_model = power_model
         self.use_requested_time_for_predictions = use_requested_time_for_predictions
+        self.retain_jobs = retain_jobs
 
         self.events = EventQueue()
         self.pending = PendingQueue()
         self.jobs: Dict[int, Job] = {}
         self.running: Dict[int, Job] = {}
         self.completed: List[Job] = []
+        #: Online aggregates, folded per job at completion (always kept in
+        #: sync with :attr:`completed`, and the only record when
+        #: ``retain_jobs=False``).
+        self.streaming = StreamingMetrics()
 
         self.now: float = 0.0
         self._total_events: int = 0
         self._first_submit: Optional[float] = None
         self._last_end: float = 0.0
+        # Lazy submission stream (see submit_stream): the iterator plus a
+        # one-job lookahead, so jobs materialise just before their submit
+        # instant instead of all upfront.
+        self._submit_source: Optional[Iterator[Job]] = None
+        self._next_stream_job: Optional[Job] = None
+        self._last_stream_submit: float = -math.inf
 
         # Availability-profile cache: the base profile derived from the
         # running set is rebuilt only when the allocation state changes
@@ -190,20 +220,77 @@ class Simulation:
     # ------------------------------------------------------------------ #
     # Workload loading
     # ------------------------------------------------------------------ #
+    def _register_job(self, job: Job) -> None:
+        """Validate one job, record it and queue its submission event."""
+        if job.job_id in self.jobs:
+            raise ValueError(f"duplicate job id {job.job_id}")
+        if job.requested_nodes > self.cluster.num_nodes:
+            raise ValueError(
+                f"job {job.job_id} requests {job.requested_nodes} nodes but the "
+                f"cluster only has {self.cluster.num_nodes}"
+            )
+        self.jobs[job.job_id] = job
+        self.events.push(job.submit_time, EventType.JOB_SUBMIT, payload=job.job_id)
+        if self._first_submit is None or job.submit_time < self._first_submit:
+            self._first_submit = job.submit_time
+
     def submit_jobs(self, jobs: Iterable[Job]) -> None:
         """Register jobs and queue their submission events."""
         for job in jobs:
-            if job.job_id in self.jobs:
-                raise ValueError(f"duplicate job id {job.job_id}")
-            if job.requested_nodes > self.cluster.num_nodes:
-                raise ValueError(
-                    f"job {job.job_id} requests {job.requested_nodes} nodes but the "
-                    f"cluster only has {self.cluster.num_nodes}"
-                )
-            self.jobs[job.job_id] = job
-            self.events.push(job.submit_time, EventType.JOB_SUBMIT, payload=job.job_id)
-            if self._first_submit is None or job.submit_time < self._first_submit:
-                self._first_submit = job.submit_time
+            self._register_job(job)
+
+    def submit_stream(self, jobs: Iterable[Job]) -> None:
+        """Attach a lazy submission stream (jobs sorted by submit time).
+
+        Jobs are pulled from the iterator just in time: before each event
+        batch, every job whose submit time is at or before the next batch
+        instant is registered, so batch composition is identical to an
+        upfront :meth:`submit_jobs` of the same sequence while only a
+        one-job lookahead is held in memory.  The stream must yield jobs in
+        nondecreasing submit-time order (``Workload.iter_jobs`` does).
+        """
+        if self._submit_source is not None or self._next_stream_job is not None:
+            raise RuntimeError("a submission stream is already attached")
+        self._submit_source = iter(jobs)
+        self._advance_submissions()
+
+    def _pull_stream_job(self) -> Optional[Job]:
+        if self._next_stream_job is not None:
+            job, self._next_stream_job = self._next_stream_job, None
+            return job
+        source = self._submit_source
+        if source is None:
+            return None
+        job = next(source, None)
+        if job is None:
+            self._submit_source = None
+            return None
+        if job.submit_time < self._last_stream_submit:
+            raise ValueError(
+                f"job {job.job_id}: submission stream is not sorted "
+                f"({job.submit_time} after {self._last_stream_submit})"
+            )
+        self._last_stream_submit = job.submit_time
+        return job
+
+    def _advance_submissions(self) -> None:
+        """Register every streamed job due at or before the next batch instant.
+
+        Keeps the invariant that when a batch at time *t* is popped, all
+        submissions with ``submit_time <= t`` are already in the heap —
+        exactly the state eager submission would be in.
+        """
+        if self._submit_source is None and self._next_stream_job is None:
+            return
+        while True:
+            job = self._pull_stream_job()
+            if job is None:
+                return
+            front = self.events.peek()
+            if front is not None and front.time < job.submit_time:
+                self._next_stream_job = job  # not due yet; keep as lookahead
+                return
+            self._register_job(job)
 
     # ------------------------------------------------------------------ #
     # Primitives used by schedulers
@@ -339,25 +426,27 @@ class Simulation:
         self.cluster.release_job(job)
         self._invalidate_profile()
         self.running.pop(job_id, None)
-        self.completed.append(job)
         self._last_end = max(self._last_end, self.now)
+        self.streaming.fold(job)
+        if self.retain_jobs:
+            self.completed.append(job)
         if hasattr(self.scheduler, "on_job_end"):
             self.scheduler.on_job_end(self, job)
+        if not self.retain_jobs:
+            # Folded; drop the per-job state (resource history, CPU maps).
+            del self.jobs[job_id]
 
     def step(self) -> bool:
         """Process the next batch of simultaneous events; returns False when done."""
-        if not self.events:
+        self._advance_submissions()
+        # The heap yields (time, type priority, serial) order, so the batch
+        # arrives already sorted: ends, then submits, then schedule markers.
+        batch = self.events.pop_batch()
+        if not batch:
             return False
-        first = self.events.pop()
-        batch = [first]
-        while self.events and self.events.peek().time == first.time:
-            batch.append(self.events.pop())
-        # Order within the instant: ends, then submits, then schedule markers.
-        batch.sort(key=lambda e: (e.type_priority, e.serial))
-        self.now = first.time
+        self.now = batch[0].time
         need_schedule = False
         for event in batch:
-            self._total_events += 1
             if event.event_type is EventType.JOB_END:
                 job = self.jobs.get(event.payload)
                 if (
@@ -365,13 +454,18 @@ class Simulation:
                     or job.state is not JobState.RUNNING
                     or event.validity_token != job.end_event_serial
                 ):
-                    continue  # stale end event after a reconfiguration
+                    # Stale end event (job reconfigured earlier in this very
+                    # batch) — skipped, and *not* counted as processed.
+                    continue
+                self._total_events += 1
                 self._handle_end(event.payload)
                 need_schedule = True
             elif event.event_type is EventType.JOB_SUBMIT:
+                self._total_events += 1
                 self._handle_submit(event.payload)
                 need_schedule = True
             elif event.event_type is EventType.SCHEDULE:
+                self._total_events += 1
                 need_schedule = True
         if need_schedule and self.pending:
             self.scheduler.schedule(self)
@@ -379,8 +473,11 @@ class Simulation:
 
     def run(self, until: Optional[float] = None) -> SimulationResult:
         """Run the simulation to completion (or until ``until``)."""
-        while self.events:
+        while True:
+            self._advance_submissions()
             nxt = self.events.peek()
+            if nxt is None:
+                break
             if until is not None and nxt.time > until:
                 break
             self.step()
@@ -390,11 +487,23 @@ class Simulation:
     @property
     def energy_joules(self) -> float:
         """Energy of the workload executed so far (0 without a power model)."""
-        if self.power_model is None or not self.completed:
+        if self.power_model is None:
             return 0.0
         idle = getattr(self.power_model, "idle_watts", 0.0)
         peak = getattr(self.power_model, "peak_watts", idle)
         first_submit = self._first_submit if self._first_submit is not None else 0.0
+        if not self.retain_jobs:
+            # Same integral, accumulated online in fold order.
+            return self.streaming.energy_joules(
+                num_nodes=self.cluster.num_nodes,
+                cpus_per_node=self.cluster.cpus_per_node,
+                idle_watts=idle,
+                peak_watts=peak,
+                first_submit=first_submit,
+                last_end=self._last_end,
+            )
+        if not self.completed:
+            return 0.0
         return _workload_energy(
             self.completed,
             num_nodes=self.cluster.num_nodes,
@@ -406,26 +515,34 @@ class Simulation:
         )
 
     def result(self) -> SimulationResult:
-        """Build the :class:`SimulationResult` for the jobs completed so far."""
-        jobs = list(self.completed)
+        """Build the :class:`SimulationResult` for the jobs completed so far.
+
+        With ``retain_jobs=False`` the aggregates come from the streaming
+        accumulator — same values, same summation order — and ``jobs`` is
+        empty (``completed_jobs`` still carries the true count).
+        """
         first_submit = self._first_submit if self._first_submit is not None else 0.0
-        makespan = max(0.0, self._last_end - first_submit) if jobs else 0.0
-        n = len(jobs)
+        scheduler_name = getattr(self.scheduler, "name", type(self.scheduler).__name__)
+        s = self.streaming
+        n = s.count
+        makespan = max(0.0, self._last_end - first_submit) if n else 0.0
         if n:
-            avg_resp = sum(j.response_time for j in jobs) / n
-            avg_sd = sum(j.slowdown for j in jobs) / n
-            avg_wait = sum(j.wait_time for j in jobs) / n
+            avg_resp = s.sum_response / n
+            avg_sd = s.sum_slowdown / n
+            avg_wait = s.sum_wait / n
         else:
             avg_resp = avg_sd = avg_wait = 0.0
         return SimulationResult(
-            jobs=jobs,
+            jobs=list(self.completed),
             makespan=makespan,
             avg_response_time=avg_resp,
             avg_slowdown=avg_sd,
             avg_wait_time=avg_wait,
             energy_joules=self.energy_joules,
-            malleable_scheduled_jobs=sum(1 for j in jobs if j.scheduled_malleable),
-            mate_jobs=sum(1 for j in jobs if j.was_mate),
-            scheduler_name=getattr(self.scheduler, "name", type(self.scheduler).__name__),
+            malleable_scheduled_jobs=s.malleable_scheduled,
+            mate_jobs=s.mate_jobs,
+            scheduler_name=scheduler_name,
             total_events=self._total_events,
+            first_submit=first_submit,
+            completed_jobs=n,
         )

@@ -111,14 +111,20 @@ class Workload:
         return work / (self.system_cpus * self.span)
 
     # ------------------------------------------------------------------ #
-    def to_jobs(
+    def iter_jobs(
         self,
         cpus_per_node: Optional[int] = None,
         malleable_fraction: float = 1.0,
         tasks_per_node: int = 1,
         seed: int = 0,
-    ) -> List[Job]:
-        """Convert the records into simulator jobs.
+    ) -> Iterator[Job]:
+        """Lazily convert the records into simulator jobs, in submit order.
+
+        Yields exactly the jobs :meth:`to_jobs` would return, one at a time
+        (one RNG draw per record, in record order, so the malleability
+        assignment is identical for the same seed).  Suitable for
+        :meth:`repro.simulator.simulation.Simulation.submit_stream`, which
+        materialises jobs just before their submit instant.
 
         Parameters
         ----------
@@ -134,14 +140,14 @@ class Workload:
             Seed for the malleability assignment when the fraction is < 1.
         """
         width = cpus_per_node or self.cpus_per_node
-        rng = np.random.default_rng(seed)
         if not 0.0 <= malleable_fraction <= 1.0:
             raise ValueError("malleable_fraction must be within [0, 1]")
-        jobs: List[Job] = []
-        for record in self.records:
-            malleable = bool(rng.random() < malleable_fraction)
-            jobs.append(
-                Job(
+
+        def generate() -> Iterator[Job]:
+            rng = np.random.default_rng(seed)
+            for record in self.records:
+                malleable = bool(rng.random() < malleable_fraction)
+                yield Job(
                     job_id=record.job_id,
                     submit_time=record.submit_time,
                     requested_nodes=record.requested_nodes(width),
@@ -154,8 +160,25 @@ class Workload:
                     group=record.group_id,
                     application=record.application,
                 )
+
+        return generate()
+
+    def to_jobs(
+        self,
+        cpus_per_node: Optional[int] = None,
+        malleable_fraction: float = 1.0,
+        tasks_per_node: int = 1,
+        seed: int = 0,
+    ) -> List[Job]:
+        """Convert the records into simulator jobs (see :meth:`iter_jobs`)."""
+        return list(
+            self.iter_jobs(
+                cpus_per_node=cpus_per_node,
+                malleable_fraction=malleable_fraction,
+                tasks_per_node=tasks_per_node,
+                seed=seed,
             )
-        return jobs
+        )
 
     # ------------------------------------------------------------------ #
     def filter(self, predicate: Callable[[JobRecord], bool], name: Optional[str] = None) -> "Workload":

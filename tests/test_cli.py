@@ -37,6 +37,25 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Improvement of SD-Policy" in out
 
+    def test_run_defaults_retain_jobs(self):
+        assert build_parser().parse_args(["run"]).retain_jobs is True
+        args = build_parser().parse_args(["run", "--no-retain-jobs"])
+        assert args.retain_jobs is False
+
+    def test_run_streaming_matches_retained_output(self, capsys):
+        argv = ["run", "--workload", "3", "--scale", "0.01", "--maxsd", "10"]
+        assert main(argv) == 0
+        retained = capsys.readouterr().out
+        assert main(argv + ["--no-retain-jobs"]) == 0
+        streamed = capsys.readouterr().out
+        # Identical metrics table; only the wall-clock line may differ.
+        assert retained.splitlines()[:-1] == streamed.splitlines()[:-1]
+
+    def test_compare_streaming(self, capsys):
+        assert main(["compare", "--workload", "3", "--scale", "0.01",
+                     "--maxsd", "10", "--no-retain-jobs"]) == 0
+        assert "Improvement of SD-Policy" in capsys.readouterr().out
+
     def test_table_command(self, capsys):
         assert main(["table", "2", "--scale", "0.2"]) == 0
         assert "Table 2" in capsys.readouterr().out

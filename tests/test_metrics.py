@@ -58,6 +58,29 @@ class TestAggregates:
         metrics = compute_metrics([done, pending])
         assert metrics.num_jobs == 1
 
+    def test_makespan_run_level_origin_with_dropped_first_job(self):
+        """Regression: the earliest-submitted job never completed, so the
+        per-job origin drifts late; the run-level first submit restores the
+        origin Simulation.result() uses."""
+        dropped = make_job(job_id=1, submit=0.0)  # submitted first, never ran
+        late = finished_job(2, submit=100.0, start=100.0, runtime=50.0)
+        jobs = [dropped, late]
+        assert makespan(jobs) == 50.0  # drifted: anchored at the survivor
+        assert makespan(jobs, first_submit=0.0) == 150.0
+        assert compute_metrics(jobs, first_submit=0.0).makespan == 150.0
+        # The origin never produces a negative makespan.
+        assert makespan(jobs, first_submit=1e9) == 0.0
+
+    def test_compute_metrics_single_pass_matches_per_metric_helpers(self):
+        jobs = [finished_job(i, submit=10.0 * i, start=10.0 * i + 5.0,
+                             runtime=50.0 + 7.0 * i) for i in range(1, 8)]
+        metrics = compute_metrics(jobs)
+        assert metrics.makespan == makespan(jobs)
+        assert metrics.avg_response_time == average_response_time(jobs)
+        assert metrics.avg_wait_time == average_wait_time(jobs)
+        assert metrics.avg_slowdown == average_slowdown(jobs)
+        assert metrics.avg_bounded_slowdown == average_bounded_slowdown(jobs)
+
     def test_bounded_slowdown_at_least_one(self):
         job = finished_job(runtime=1.0, start=0.0, submit=0.0)
         assert average_bounded_slowdown([job]) >= 1.0

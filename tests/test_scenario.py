@@ -239,6 +239,28 @@ class TestExecution:
         assert "MAXSD inf" in text
         assert "Normalised to static_backfill" in text
 
+    def test_table_report_works_with_streamed_runs(self, workload):
+        spec = _spec(
+            base={"runtime_model": "ideal", "sharing_factor": 0.5,
+                  "retain_jobs": False},
+        )
+        outcome = run_scenario(spec, workloads=workload)
+        text = render_report(outcome)
+        assert "Normalised to static_backfill" in text
+
+    def test_per_job_report_rejects_streamed_runs(self, workload):
+        """Heatmaps need retained jobs; a streamed run must fail loudly
+        instead of rendering an empty figure."""
+        spec = _spec(
+            grid={"max_slowdown": [10.0]},
+            base={"runtime_model": "ideal", "sharing_factor": 0.5,
+                  "retain_jobs": False},
+            report="heatmaps",
+        )
+        outcome = run_scenario(spec, workloads=workload)
+        with pytest.raises(ScenarioError, match="retain_jobs=False"):
+            render_report(outcome)
+
     def test_workload_only_scenario_runs_nothing(self):
         spec = ScenarioSpec(
             name="mixonly",

@@ -121,6 +121,52 @@ class TestAllocationPrimitives:
         result = sim.run()
         assert result.jobs[0].end_time == pytest.approx(200.0)
 
+    def test_stale_end_in_same_batch_not_counted_as_processed(self):
+        """A job reconfigured by an on_job_end hook while its own end event
+        sits later in the same batch: the stale event is skipped AND excluded
+        from total_events (it did no work).  Regression: the old loop counted
+        every popped event, inflating the pin below to 5."""
+
+        class ReconfOnEnd(FCFSScheduler):
+            def on_job_end(self, sim, job):
+                for other in list(sim.running.values()):
+                    slot = other.resource_history[-1]
+                    sim.reconfigure_job(other, dict(slot.cpus_per_node))
+
+        cluster = Cluster(num_nodes=2, sockets=2, cores_per_socket=4)
+        sim = Simulation(cluster, ReconfOnEnd())
+        sim.submit_jobs([
+            make_job(job_id=1, nodes=1, runtime=100.0, req_time=200.0),
+            make_job(job_id=2, nodes=1, runtime=100.0, req_time=200.0),
+        ])
+        result = sim.run()
+        assert result.num_jobs == 2
+        assert {j.end_time for j in result.jobs} == {100.0}
+        # 2 submits + job 1's end + job 2's reissued end; job 2's original
+        # (staled in-batch by the reconfiguration) must not be counted.
+        assert result.total_events == 4
+
+    def test_partial_run_makespan_agrees_with_compute_metrics(self):
+        """Satellite bugfix: with the run-level first submit threaded through,
+        compute_metrics agrees with Simulation.result() even when the
+        earliest-submitted job never completed."""
+        from repro.metrics.aggregates import compute_metrics
+
+        cluster = Cluster(num_nodes=2, sockets=2, cores_per_socket=4)
+        sim = Simulation(cluster, FCFSScheduler())
+        sim.submit_jobs([
+            make_job(job_id=1, submit=0.0, nodes=1, runtime=10000.0, req_time=20000.0),
+            make_job(job_id=2, submit=5.0, nodes=1, runtime=10.0, req_time=20.0),
+        ])
+        result = sim.run(until=100.0)
+        assert result.num_jobs == 1  # job 2 only; job 1 still running
+        assert result.first_submit == 0.0
+        assert result.makespan == 15.0
+        metrics = compute_metrics(result.jobs, first_submit=result.first_submit)
+        assert metrics.makespan == result.makespan
+        # Without the run context the origin drifts to job 2's submit.
+        assert compute_metrics(result.jobs).makespan == 10.0
+
     def test_stale_end_events_are_ignored(self):
         cluster = Cluster(num_nodes=1, sockets=2, cores_per_socket=4)
         sim = Simulation(cluster, FCFSScheduler())
