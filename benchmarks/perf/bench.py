@@ -1,9 +1,9 @@
 #!/usr/bin/env python
-"""Pinned-workload performance harness (BENCH_6).
+"""Pinned-workload performance harness (BENCH_7).
 
 Measures the simulation core's throughput (jobs/sec, events/sec) and memory
 high-water mark on fixed workloads and writes the results to
-``BENCH_6.json`` so the perf trajectory is tracked next to correctness:
+``BENCH_7.json`` so the perf trajectory is tracked next to correctness:
 
 * ``swf_replay`` — the committed ``examples/sample.swf`` log tiled end to
   end and replayed in streaming mode (``retain_jobs=False``) under
@@ -14,12 +14,17 @@ high-water mark on fixed workloads and writes the results to
 * ``mixed_paper_scale_cell`` — one cell of the
   ``examples/mixed_paper_scale.json`` grid (workload 1, 50/50
   rigid/malleable, MAXSD 10) through the regular ``run_workload`` path.
+* ``swf_replay_analytics`` / ``swf_100k_analytics`` — the same streaming
+  replays with a ``JobRecordSink`` riding the completion dispatch, pinning
+  the analytics layer's overhead: the sink must stay within the jobs/sec
+  tolerance of the plain replay and the columnar buffer (~115 bytes/job)
+  must stay inside the streaming RSS cap.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/bench.py \
         [--presets swf_replay,swf_100k,mixed_paper_scale_cell] \
-        [--out benchmarks/output/BENCH_6.json] \
+        [--out benchmarks/output/BENCH_7.json] \
         [--check --baseline benchmarks/perf/baseline.json]
 
 ``--check`` compares jobs/sec against the committed baseline and exits
@@ -45,6 +50,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.runtime_model import IdealRuntimeModel  # noqa: E402
 from repro.core.sd_policy import SDPolicyConfig, SDPolicyScheduler  # noqa: E402
+from repro.analytics.records import JobRecordSink  # noqa: E402
 from repro.experiments.runner import run_workload  # noqa: E402
 from repro.simulator.cluster import Cluster  # noqa: E402
 from repro.simulator.job import Job  # noqa: E402
@@ -53,7 +59,7 @@ from repro.workloads.presets import build_workload  # noqa: E402
 from repro.workloads.swf import read_swf  # noqa: E402
 
 SAMPLE_SWF = REPO_ROOT / "examples" / "sample.swf"
-DEFAULT_OUT = REPO_ROOT / "benchmarks" / "output" / "BENCH_6.json"
+DEFAULT_OUT = REPO_ROOT / "benchmarks" / "output" / "BENCH_7.json"
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "perf" / "baseline.json"
 
 
@@ -99,7 +105,7 @@ def tiled_swf_jobs(tiles: int, malleable_fraction: float = 1.0, seed: int = 0):
     return workload, generate()
 
 
-def _swf_replay_preset(tiles: int) -> Dict[str, float]:
+def _swf_replay_preset(tiles: int, analytics: bool = False) -> Dict[str, float]:
     workload, stream = tiled_swf_jobs(tiles)
     cluster = Cluster(
         num_nodes=workload.system_nodes,
@@ -107,11 +113,13 @@ def _swf_replay_preset(tiles: int) -> Dict[str, float]:
         cores_per_socket=max(1, workload.cpus_per_node // 2),
     )
     scheduler = SDPolicyScheduler(SDPolicyConfig(max_slowdown=10.0))
+    sink = JobRecordSink() if analytics else None
     sim = Simulation(
         cluster,
         scheduler,
         runtime_model=IdealRuntimeModel(),
         retain_jobs=False,
+        sinks=(sink,) if sink is not None else (),
     )
     sim.submit_stream(stream)
     rss_before = _peak_rss_kib()
@@ -132,6 +140,9 @@ def _swf_replay_preset(tiles: int) -> Dict[str, float]:
         "peak_rss_kib": rss_after,
         "rss_delta_kib": rss_after - rss_before,
         "streaming_buffer_bytes": sim.streaming.buffer_bytes,
+        "analytics": analytics,
+        "records_rows": len(sink) if sink is not None else 0,
+        "records_bytes": sink.nbytes if sink is not None else 0,
         "retain_jobs": False,
         "makespan": result.makespan,
         "avg_slowdown": result.avg_slowdown,
@@ -180,9 +191,21 @@ def preset_mixed_paper_scale_cell() -> Dict[str, float]:
     }
 
 
+def preset_swf_replay_analytics() -> Dict[str, float]:
+    """The CI smoke replay with the per-job analytics sink attached."""
+    return _swf_replay_preset(tiles=int(round(10 * _scale_factor())), analytics=True)
+
+
+def preset_swf_100k_analytics() -> Dict[str, float]:
+    """The >=100k-job streaming replay with the analytics sink attached."""
+    return _swf_replay_preset(tiles=int(round(500 * _scale_factor())), analytics=True)
+
+
 PRESETS: Dict[str, Callable[[], Dict[str, float]]] = {
     "swf_replay": preset_swf_replay,
     "swf_100k": preset_swf_100k,
+    "swf_replay_analytics": preset_swf_replay_analytics,
+    "swf_100k_analytics": preset_swf_100k_analytics,
     "mixed_paper_scale_cell": preset_mixed_paper_scale_cell,
 }
 
@@ -249,7 +272,7 @@ def main(argv: List[str] | None = None) -> int:
         )
 
     payload = {
-        "bench_id": 6,
+        "bench_id": 7,
         "schema": 1,
         "timestamp": time.time(),
         "scale_factor": _scale_factor(),

@@ -1,0 +1,121 @@
+"""Persist per-job run records behind the existing :class:`ResultStore`.
+
+Records ride the same content-addressed store as the cached runs, under a
+derived key (``<cache_key>-records``), wrapped in the standard integrity
+envelope so ``store verify``/``repair`` cover them.  Each published run
+also writes a small *analytics manifest* —
+``analytics-<cache_key[:24]>`` — holding the run's metadata (sweep
+coordinates, job count, record schema, digests).  Two jobs for that
+manifest:
+
+* **Discovery.**  ``repro-sdpolicy query`` lists ``analytics-*`` manifests
+  to see every run with records in a store, and resolves a specific task's
+  records by recomputing its cache key — no index file to keep in sync.
+* **GC pinning.**  The manifest carries a ``"tasks"`` list naming both the
+  run's cache blob and the records blob, so the lifecycle layer's
+  :func:`~repro.store.lifecycle.collect_references` keeps both alive and
+  ``store gc`` never collects records out from under a query.
+
+The cached *run* blob is deliberately left byte-identical with or without
+analytics enabled — the records pointer lives only in this manifest — so
+enabling ``--analytics`` never splits or invalidates the run cache.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.analytics.records import RECORD_SCHEMA_VERSION, RunRecords
+from repro.store import ResultStore, StoreError, unwrap_blob, wrap_blob
+
+__all__ = [
+    "ANALYTICS_MANIFEST_PREFIX",
+    "AnalyticsError",
+    "analytics_manifest_name",
+    "iter_analytics_manifests",
+    "load_run_records",
+    "publish_run_records",
+    "records_key",
+]
+
+#: Manifest-name namespace of the analytics layer.
+ANALYTICS_MANIFEST_PREFIX = "analytics-"
+
+#: Blob-key suffix of a run's serialized records.
+_RECORDS_KEY_SUFFIX = "-records"
+
+
+class AnalyticsError(RuntimeError):
+    """A records blob or analytics manifest is missing or unreadable."""
+
+
+def records_key(cache_key: str) -> str:
+    """Store key of the records blob belonging to a cached run."""
+    return cache_key + _RECORDS_KEY_SUFFIX
+
+
+def analytics_manifest_name(cache_key: str) -> str:
+    """Deterministic manifest name for a run's analytics entry."""
+    return ANALYTICS_MANIFEST_PREFIX + cache_key[:24]
+
+
+def publish_run_records(
+    store: ResultStore,
+    cache_key: str,
+    records: RunRecords,
+    run_digest: Optional[str] = None,
+) -> str:
+    """Publish one run's records blob + analytics manifest; returns digest."""
+    key = records_key(cache_key)
+    enveloped, digest = wrap_blob(records.to_bytes())
+    store.put(key, enveloped)
+    run_ref: Dict[str, Any] = {"cache_key": cache_key}
+    if run_digest:
+        run_ref["digest"] = run_digest
+    manifest = {
+        "kind": "analytics",
+        "schema": records.schema,
+        "cache_key": cache_key,
+        "records_key": key,
+        "records_digest": digest,
+        "rows": len(records),
+        "meta": records.meta,
+        # gc pinning: collect_references keeps every "cache_key" listed
+        # under "tasks", covering both the run blob and the records blob.
+        "tasks": [run_ref, {"cache_key": key, "digest": digest}],
+    }
+    store.write_manifest(analytics_manifest_name(cache_key), manifest)
+    return digest
+
+
+def load_run_records(store: ResultStore, cache_key: str) -> RunRecords:
+    """Load the records of one cached run; :class:`AnalyticsError` if absent."""
+    data = store.get(records_key(cache_key))
+    if data is None:
+        raise AnalyticsError(
+            f"no per-job records for cache key {cache_key[:24]}… — the run was "
+            "executed without --analytics (or served from a pre-analytics "
+            "cache entry); re-run the sweep with --analytics to publish them"
+        )
+    try:
+        payload, _digest = unwrap_blob(data)
+        return RunRecords.from_bytes(payload)
+    except StoreError:
+        raise
+    except Exception as exc:
+        raise AnalyticsError(
+            f"records blob for cache key {cache_key[:24]}… is unreadable: {exc}"
+        ) from exc
+
+
+def iter_analytics_manifests(
+    store: ResultStore,
+) -> Iterator[Tuple[str, Dict[str, Any]]]:
+    """Yield ``(manifest_name, payload)`` for every analytics manifest."""
+    for name in store.list_manifests(ANALYTICS_MANIFEST_PREFIX):
+        manifest = store.read_manifest(name)
+        if manifest is None or manifest.get("kind") != "analytics":
+            continue
+        if manifest.get("schema") != RECORD_SCHEMA_VERSION:
+            continue
+        yield name, manifest

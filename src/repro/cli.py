@@ -21,6 +21,9 @@ shell (installed as ``repro-sdpolicy`` or via ``python -m repro``):
   manifest-aware ``gc``, integrity ``verify``/``repair``,
   ``push``/``pull`` mirroring, and ``serve`` — an in-process
   S3-compatible endpoint for tests and CI);
+* ``query`` — aggregate persisted per-job records (``--analytics`` runs)
+  across every sweep in a store, or regenerate Figures 1-3/7 and Table 1
+  byte-identically from the records without re-simulating;
 * ``swf`` — inspect a Standard Workload Format file.
 
 Every sweep-backed subcommand accepts ``--store URL`` selecting a result
@@ -85,7 +88,7 @@ from repro.store import (
     verify,
 )
 from repro.workloads.presets import build_workload
-from repro.workloads.swf import read_swf
+from repro.workloads.swf import read_swf, summarize_swf
 
 
 def _parse_maxsd(value: str):
@@ -159,6 +162,12 @@ def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
         help="local shard manifest directory override "
              "(default: the manifests/ namespace of the store)",
     )
+    parser.add_argument(
+        "--analytics", action="store_true",
+        help="persist per-job records to the store alongside each run's "
+             "aggregates, for 'repro-sdpolicy query'; requires --cache-dir "
+             "or --store",
+    )
 
 
 def _make_runner(
@@ -181,6 +190,14 @@ def _make_runner(
         )
         raise SystemExit(2)
     has_store = bool(store or cache_dir or os.environ.get("REPRO_STORE_URL"))
+    analytics = bool(getattr(args, "analytics", False))
+    if analytics and not has_store:
+        print(
+            "error: --analytics needs a result store to publish per-job "
+            "records (--cache-dir or --store)",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
     executor = None
     if merge:
         if shard is not None:
@@ -212,6 +229,7 @@ def _make_runner(
         store=store,
         progress=callback,
         executor=executor,
+        analytics=analytics,
     )
 
 
@@ -566,9 +584,72 @@ def _cmd_store_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.analytics.query import (
+        QueryError,
+        list_runs,
+        parse_metrics,
+        parse_where,
+        render_stored_report,
+        run_query,
+    )
+    from repro.analytics.store import AnalyticsError
+    from repro.store import resolve_store
+
+    if args.store and args.cache_dir:
+        print(
+            "error: --store and --cache-dir are mutually exclusive "
+            "(--cache-dir PATH is shorthand for --store file://PATH)",
+            file=sys.stderr,
+        )
+        return 2
+    store = resolve_store(args.store, args.cache_dir)
+    if store is None:
+        print(
+            "error: query reads a result store; give --cache-dir or --store "
+            "(or set REPRO_STORE_URL)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.list:
+            print(list_runs(store))
+            return 0
+        if args.report:
+            workload = None
+            if args.report != "table1":
+                workload = _load_workload(args)
+            print(
+                render_stored_report(
+                    store,
+                    args.report,
+                    workload=workload,
+                    scale=args.scale,
+                    seed=args.seed,
+                    sharing_factor=args.sharing_factor,
+                    runtime_model=args.runtime_model,
+                    max_slowdown=_parse_maxsd(args.maxsd),
+                )
+            )
+            return 0
+        print(
+            run_query(
+                store,
+                where=parse_where(args.where),
+                group_by=args.group_by,
+                metrics=parse_metrics(args.metrics),
+            )
+        )
+        return 0
+    except (QueryError, AnalyticsError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_swf(args: argparse.Namespace) -> int:
-    workload = read_swf(args.path, max_jobs=args.max_jobs)
-    for key, value in workload.describe().items():
+    # One streaming pass: same output as read_swf().describe(), without
+    # materialising the record list (100k-line logs inspect in ~1.6 MiB).
+    for key, value in summarize_swf(args.path, max_jobs=args.max_jobs).items():
         print(f"{key:20s} {value}")
     return 0
 
@@ -758,6 +839,56 @@ def build_parser() -> argparse.ArgumentParser:
     p_st_serve.add_argument("--verbose", action="store_true",
                             help="log every request to stderr")
     p_st_serve.set_defaults(func=_cmd_store_serve)
+
+    p_query = sub.add_parser(
+        "query",
+        help="filter/group/aggregate persisted per-job records across every "
+             "sweep in a store, or regenerate figures/tables from them",
+    )
+    _add_workload_args(p_query)
+    p_query.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="result store to query, as a local cache dir ('auto' = XDG dir)",
+    )
+    p_query.add_argument(
+        "--store", type=str, default=None, metavar="URL",
+        help="result store to query, as a URL (file://…, memory://…, "
+             "s3+http(s)://…); REPRO_STORE_URL applies when neither "
+             "--store nor --cache-dir is given",
+    )
+    p_query.add_argument(
+        "--list", action="store_true",
+        help="list every analytics run in the store and exit",
+    )
+    p_query.add_argument(
+        "--where", action="append", default=[], metavar="FIELD=VALUE",
+        help="filter clause, repeatable; run-level fields (workload, policy, "
+             "label, seed, task_key) select runs, record columns (slowdown, "
+             "malleable, …) select job rows",
+    )
+    p_query.add_argument(
+        "--group-by", type=str, default=None, metavar="FIELD",
+        help="group the aggregation by a run-level field or a record column",
+    )
+    p_query.add_argument(
+        "--metrics", type=str, default="slowdown:mean,slowdown:p95",
+        metavar="COL:AGG,...",
+        help="aggregations to compute (aggs: mean, median, p50, p95, p99, "
+             "min, max, count); default: slowdown:mean,slowdown:p95",
+    )
+    p_query.add_argument(
+        "--report", type=str, default=None,
+        choices=["fig1", "fig2", "fig3", "fig1-3", "fig7", "table1"],
+        help="regenerate a paper figure/table from stored records alone "
+             "(no simulation); output is byte-identical to the sweep-"
+             "rendered version",
+    )
+    p_query.add_argument("--maxsd", default="10",
+                         help="MAX_SLOWDOWN for --report fig7")
+    p_query.add_argument("--sharing-factor", type=float, default=0.5)
+    p_query.add_argument("--runtime-model", default="ideal",
+                         choices=["ideal", "worst_case"])
+    p_query.set_defaults(func=_cmd_query)
 
     p_swf = sub.add_parser("swf", help="inspect a Standard Workload Format log")
     p_swf.add_argument("path")

@@ -63,8 +63,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
 #: (``cache_path`` only for local-FS stores) and the shard reports its
 #: quarantined-corruption count.  v3: done records also carry ``digest``,
 #: the SHA-256 content digest of the published cache blob (what ``store
-#: verify`` cross-checks and ``store repair`` validates against).
-MANIFEST_FORMAT_VERSION = 3
+#: verify`` cross-checks and ``store repair`` validates against).  v4: the
+#: manifest records whether the shard ran with analytics enabled
+#: (top-level ``analytics`` flag; executed tasks then have per-run records
+#: published under ``analytics-*`` manifests) — merging a mix of
+#: analytics-aware and older shards would silently drop records, so the
+#: version gate forces a consistent fleet.
+MANIFEST_FORMAT_VERSION = 4
 
 #: Subdirectory of the cache directory holding shard manifests by default.
 MANIFEST_DIR_NAME = "manifests"
@@ -123,6 +128,7 @@ def _execute_task(task: "SweepTask") -> "PolicyRun":
         task.policy,
         label=task.label,
         seed=task.resolved_seed(),
+        analytics=getattr(task, "analytics", False),
         **task.kwargs,
     )
 
@@ -429,6 +435,11 @@ class ShardedExecutor(Executor):
                     "total_tasks": len(plan.tasks),
                     "store": store.url,
                     "cache_corruptions": corruptions,
+                    # v4: whether this shard captures per-job records
+                    # (published as analytics-* manifests next to the cache).
+                    "analytics": any(
+                        getattr(t, "analytics", False) for t in plan.tasks
+                    ),
                     "tasks": [records[i] for i in owned],
                 },
             )

@@ -22,6 +22,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.analysis.tables import format_table
 from repro.experiments.runner import PolicyRun
+from repro.metrics.aggregates import WorkloadMetrics
 from repro.experiments.scenario import (
     ScenarioSpec,
     WorkloadRef,
@@ -104,19 +105,38 @@ def table_1_workloads(
     """
     runner = runner or SweepRunner(store=store)
     workloads = {wid: build_workload(wid, scale=scale, seed=seed) for wid in workload_ids}
-    sweep = runner.run(
-        [
-            SweepTask(workload=wl, policy="static_backfill", key=f"workload{wid}", seed=0)
-            for wid, wl in workloads.items()
-        ]
-    )
+    sweep = runner.run(table_1_tasks(workloads))
     if not sweep.complete:
         return _shard_partial_result("table1", sweep)
+    metrics = {wid: sweep[f"workload{wid}"].metrics for wid in workload_ids}
+    return render_table_1(scale, workload_ids, workloads, metrics)
+
+
+def table_1_tasks(workloads: Mapping[int, Workload]) -> List[SweepTask]:
+    """The sweep tasks behind Table 1 (shared by the run and query paths)."""
+    return [
+        SweepTask(workload=wl, policy="static_backfill", key=f"workload{wid}", seed=0)
+        for wid, wl in workloads.items()
+    ]
+
+
+def render_table_1(
+    scale: float,
+    workload_ids: Sequence[int],
+    workloads: Mapping[int, Workload],
+    metrics: Mapping[int, "WorkloadMetrics"],
+) -> FigureResult:
+    """Assemble the Table 1 result from per-workload metrics.
+
+    Shared by :func:`table_1_workloads` (metrics from fresh/cached runs)
+    and ``repro-sdpolicy query --report table1`` (metrics rebuilt from
+    persisted records), so both render byte-identically.
+    """
     rows: List[List[object]] = []
     per_workload: Dict[int, Dict[str, float]] = {}
     for wid in workload_ids:
         workload = workloads[wid]
-        run = sweep[f"workload{wid}"]
+        wmetrics = metrics[wid]
         spec = PAPER_WORKLOADS[wid]
         row = {
             "id": wid,
@@ -125,9 +145,9 @@ def table_1_workloads(
             "system_nodes": workload.system_nodes,
             "system_cpus": workload.system_cpus,
             "max_job_nodes": workload.max_job_nodes,
-            "avg_response_time": run.metrics.avg_response_time,
-            "avg_slowdown": run.metrics.avg_slowdown,
-            "makespan": run.metrics.makespan,
+            "avg_response_time": wmetrics.avg_response_time,
+            "avg_slowdown": wmetrics.avg_slowdown,
+            "makespan": wmetrics.makespan,
         }
         per_workload[wid] = row
         rows.append(list(row.values()))
@@ -183,26 +203,23 @@ def table_2_application_mix(
 # --------------------------------------------------------------------- #
 # Figures 1-3: MAX_SLOWDOWN sweep
 # --------------------------------------------------------------------- #
-def figure_1_to_3_maxsd_sweep(
-    workload: Workload,
+def maxsd_sweep_spec(
+    workload_name: str,
     maxsd_settings: Mapping[str, Union[float, str]] = MAXSD_SETTINGS,
     sharing_factor: float = 0.5,
     runtime_model: str = "ideal",
     malleable_fraction: float = 1.0,
-    runner: Optional[SweepRunner] = None,
-    store: Optional[object] = None,
-) -> FigureResult:
-    """Figures 1, 2, 3: makespan / response / slowdown vs MAX_SLOWDOWN.
+) -> ScenarioSpec:
+    """The Figures 1-3 scenario spec over an already-built workload.
 
-    All values are normalised to the static backfill run of the same
-    workload, exactly as in the paper (SharingFactor 0.5, ideal runtime
-    model for the simulated execution, worst-case model for scheduling
-    estimates).  The baseline and every MAX_SLOWDOWN setting are independent
-    simulations and fan out through the sweep runner.
+    Shared by :func:`figure_1_to_3_maxsd_sweep` (which executes it) and
+    the query layer (which recomputes the same task cache keys from it to
+    locate persisted records) — the two must agree exactly or the query
+    path would look up the wrong blobs.
     """
-    spec = ScenarioSpec(
+    return ScenarioSpec(
         name="figure1-3",
-        workloads=[WorkloadRef(name=workload.name)],
+        workloads=[WorkloadRef(name=workload_name)],
         policy="sd_policy",
         grid={
             "max_slowdown": [
@@ -223,6 +240,32 @@ def figure_1_to_3_maxsd_sweep(
             },
         },
         report="figures1-3",
+    )
+
+
+def figure_1_to_3_maxsd_sweep(
+    workload: Workload,
+    maxsd_settings: Mapping[str, Union[float, str]] = MAXSD_SETTINGS,
+    sharing_factor: float = 0.5,
+    runtime_model: str = "ideal",
+    malleable_fraction: float = 1.0,
+    runner: Optional[SweepRunner] = None,
+    store: Optional[object] = None,
+) -> FigureResult:
+    """Figures 1, 2, 3: makespan / response / slowdown vs MAX_SLOWDOWN.
+
+    All values are normalised to the static backfill run of the same
+    workload, exactly as in the paper (SharingFactor 0.5, ideal runtime
+    model for the simulated execution, worst-case model for scheduling
+    estimates).  The baseline and every MAX_SLOWDOWN setting are independent
+    simulations and fan out through the sweep runner.
+    """
+    spec = maxsd_sweep_spec(
+        workload.name,
+        maxsd_settings=maxsd_settings,
+        sharing_factor=sharing_factor,
+        runtime_model=runtime_model,
+        malleable_fraction=malleable_fraction,
     )
     outcome = spec.execute(runner=runner, workloads=workload, store=store)
     if not outcome.complete:

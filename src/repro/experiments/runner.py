@@ -7,6 +7,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Union
 
+from repro.analytics.records import JobRecordSink, RunRecords
 from repro.core.runtime_model import IdealRuntimeModel, RuntimeModel, WorstCaseRuntimeModel
 from repro.core.sd_policy import SDPolicyConfig, SDPolicyScheduler
 from repro.metrics.aggregates import WorkloadMetrics, compute_metrics
@@ -71,6 +72,10 @@ class PolicyRun:
     metrics: WorkloadMetrics
     wall_clock_seconds: float
     scheduler_stats: Dict[str, int] = field(default_factory=dict)
+    #: Per-job records captured by the analytics sink (``analytics=True``);
+    #: stripped before the run is pickled into the result cache — the
+    #: records are published as their own blob.
+    records: Optional[RunRecords] = None
 
     @property
     def jobs(self) -> List[Job]:
@@ -90,6 +95,7 @@ def run_workload(
     label: Optional[str] = None,
     seed: int = 0,
     retain_jobs: bool = True,
+    analytics: bool = False,
     **policy_kwargs,
 ) -> PolicyRun:
     """Simulate a workload under a policy and return metrics.
@@ -107,6 +113,11 @@ def run_workload(
     same values either way (bit-identical summation order), but
     ``PolicyRun.jobs`` is empty, so per-job reports (heatmaps, daily
     series, real-run tables) need the default retained mode.
+
+    With ``analytics=True`` a :class:`repro.analytics.JobRecordSink` rides
+    the completion dispatch and ``PolicyRun.records`` carries one columnar
+    row per job (~100 bytes each — compatible with streaming mode), from
+    which every aggregate is reconstructible bit-identically.
     """
     scheduler = make_scheduler(policy, **policy_kwargs)
     if power_model is _DEFAULT_POWER_MODEL:
@@ -130,6 +141,7 @@ def run_workload(
 
             runtime_model = get_model(runtime_model)
     cluster = cluster_for(workload)
+    record_sink = JobRecordSink() if analytics else None
     sim = Simulation(
         cluster,
         scheduler,
@@ -137,6 +149,7 @@ def run_workload(
         power_model=power_model,
         use_requested_time_for_predictions=use_requested_time_for_predictions,
         retain_jobs=retain_jobs,
+        sinks=(record_sink,) if record_sink is not None else (),
     )
     if hasattr(runtime_model, "bind_cluster"):
         runtime_model.bind_cluster(cluster, sim.jobs)
@@ -165,11 +178,27 @@ def run_workload(
             first_submit=result.first_submit,
         )
     stats = scheduler.stats() if hasattr(scheduler, "stats") else {}
+    run_label = label or result.scheduler_name
+    records: Optional[RunRecords] = None
+    if record_sink is not None:
+        records = RunRecords(
+            array=record_sink.to_array(),
+            meta={
+                "workload": workload.name,
+                "policy": policy if isinstance(policy, str) else result.scheduler_name,
+                "label": run_label,
+                "seed": int(seed),
+                "first_submit": result.first_submit,
+                "energy_joules": result.energy_joules,
+                "num_jobs": result.num_jobs,
+            },
+        )
     return PolicyRun(
-        label=label or result.scheduler_name,
+        label=run_label,
         workload_name=workload.name,
         result=result,
         metrics=metrics,
         wall_clock_seconds=elapsed,
         scheduler_stats=stats,
+        records=records,
     )

@@ -263,6 +263,10 @@ class ScenarioSpec:
         Name of the report renderer used by :func:`render_report` — one of
         ``table``, ``figures1-3``, ``heatmaps``, ``daily``,
         ``runtime_models``, ``realrun``, ``mix``.
+    analytics:
+        If true, every executed task publishes per-job records to the
+        result store (requires one), queryable later with
+        ``repro-sdpolicy query``.
     """
 
     name: str
@@ -274,6 +278,10 @@ class ScenarioSpec:
     seed: int = 0
     report: str = "table"
     description: str = ""
+    #: Capture per-job records for every executed task (see
+    #: :mod:`repro.analytics`).  Off the cache key: an analytics scenario
+    #: reuses plain cached runs and vice versa.
+    analytics: bool = False
 
     def __post_init__(self) -> None:
         if isinstance(self.workloads, WorkloadRef):
@@ -389,6 +397,8 @@ class ScenarioSpec:
             }
         if self.description:
             out["description"] = self.description
+        if self.analytics:
+            out["analytics"] = True
         return out
 
     @classmethod
@@ -396,7 +406,7 @@ class ScenarioSpec:
         """Build a spec from its dict form (inverse of :meth:`to_dict`)."""
         known = {
             "name", "workload", "workloads", "policy", "grid", "base",
-            "baseline", "seed", "report", "description",
+            "baseline", "seed", "report", "description", "analytics",
         }
         unknown = set(data) - known
         if unknown:
@@ -428,6 +438,7 @@ class ScenarioSpec:
             seed=int(data.get("seed", 0)),
             report=str(data.get("report", "table")),
             description=str(data.get("description", "")),
+            analytics=bool(data.get("analytics", False)),
         )
 
     def execute(
@@ -594,6 +605,14 @@ def run_scenario(
     sweep = None
     if tasks:
         runner = runner or SweepRunner(store=store)
+        if spec.analytics and not runner.analytics:
+            if runner.store is None:
+                raise ScenarioError(
+                    f"scenario {spec.name!r} sets analytics=true, which needs "
+                    "a result store to publish records (pass --store or "
+                    "--cache-dir)"
+                )
+            runner.analytics = True
         sweep = runner.run(tasks)
     if sweep is not None and not sweep.complete:
         # A sharded invocation: only this shard's slice ran, so cells and
@@ -702,9 +721,13 @@ def _static_sd_pair(outcome: ScenarioOutcome) -> Tuple[PolicyRun, PolicyRun]:
     for run in pair:
         if not run.jobs and run.result.num_jobs > 0:
             raise ScenarioError(
-                f"report {outcome.spec.report!r} needs per-job records but run "
-                f"{run.label!r} was executed with retain_jobs=False; re-run the "
-                "scenario with retained jobs"
+                f"the {outcome.spec.report!r} report of scenario "
+                f"{outcome.spec.name!r} needs per-job data, but run "
+                f"{run.label!r} was executed with retain_jobs=False and its "
+                f"{run.result.num_jobs} jobs were folded into aggregates only; "
+                "re-run with --retain-jobs (keep Job objects in memory) or "
+                "with --analytics (persist per-job records to the store and "
+                "render via 'repro-sdpolicy query --report')"
             )
     return pair
 

@@ -33,7 +33,7 @@ import math
 import pickle
 import time
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
     Any,
@@ -75,6 +75,8 @@ from repro.workloads.job_record import Workload
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
+    "CACHE_KEY_VERSION",
+    "COMPATIBLE_CACHE_FORMATS",
     "ExecutionPlan",
     "Executor",
     "ExecutorError",
@@ -94,11 +96,25 @@ __all__ = [
     "task_cache_key",
 ]
 
-#: Bump when the cached payload layout *or the cache-key encoding* changes;
-#: old entries are then misses.  v2: non-finite kwarg floats canonicalised.
-#: v3: SimulationResult gained first_submit/completed_jobs fields and
-#: compute_metrics is anchored at the run-level first submit.
-CACHE_FORMAT_VERSION = 3
+#: Version written into new cache payloads.  Bump when the payload layout
+#: changes.  v2: non-finite kwarg floats canonicalised.  v3:
+#: SimulationResult gained first_submit/completed_jobs fields and
+#: compute_metrics is anchored at the run-level first submit.  v4:
+#: PolicyRun gained a ``records`` field (always pickled as ``None`` — the
+#: analytics records are published as their own blob, so the run payload
+#: itself is unchanged and v3 blobs stay fully readable).
+CACHE_FORMAT_VERSION = 4
+
+#: Payload versions `_cache_load` accepts.  v3 runs predate the analytics
+#: layer but deserialize into a current ``PolicyRun`` unchanged (the new
+#: ``records`` field defaults to ``None`` on unpickling).
+COMPATIBLE_CACHE_FORMATS = (3, 4)
+
+#: Version folded into :func:`task_cache_key`.  Kept at 3 through the v4
+#: payload bump *on purpose*: the key encoding did not change, so sweeps
+#: keep hitting cache entries written by pre-analytics versions.  Bump only
+#: when the key inputs themselves change meaning.
+CACHE_KEY_VERSION = 3
 
 
 @dataclass
@@ -118,6 +134,11 @@ class SweepTask:
     label: Optional[str] = None
     seed: Optional[int] = None
     kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Capture per-job records for this task (set by the runner's
+    #: ``analytics`` flag).  Deliberately *not* part of the cache key: the
+    #: simulated run is identical either way, so an analytics sweep reuses
+    #: plain cached runs (records are only published for executed tasks).
+    analytics: bool = False
 
     def resolved_key(self) -> str:
         return self.key or self.label or self.policy
@@ -268,7 +289,7 @@ def task_cache_key(task: SweepTask) -> str:
 
     h = hashlib.sha256()
     h.update(
-        f"v{CACHE_FORMAT_VERSION}|repro{getattr(repro, '__version__', '0')}|".encode()
+        f"v{CACHE_KEY_VERSION}|repro{getattr(repro, '__version__', '0')}|".encode()
     )
     h.update(fingerprint_workload(task.workload).encode())
     h.update(
@@ -318,6 +339,11 @@ class SweepRunner:
         explicit ``store`` beats ``cache_dir``; with neither set the
         ``REPRO_STORE_URL`` environment variable applies, and with nothing
         configured caching is disabled.
+    analytics:
+        Capture per-job records for every *executed* task and publish them
+        to the store next to the cached run (see :mod:`repro.analytics`).
+        Requires a store; cache hits are served as usual without
+        re-publishing records.
     """
 
     def __init__(
@@ -327,11 +353,18 @@ class SweepRunner:
         progress: Optional[Callable[[int, int, SweepEntry], None]] = None,
         executor: Optional[Executor] = None,
         store: Optional[Union[str, ResultStore]] = None,
+        analytics: bool = False,
     ) -> None:
         self.max_workers = resolve_worker_count(max_workers)
         self.store = resolve_store(store, cache_dir)
         self.progress = progress
         self.executor = executor
+        if analytics and self.store is None:
+            raise ValueError(
+                "analytics=True needs a result store to publish records "
+                "(pass store=… or cache_dir=…)"
+            )
+        self.analytics = analytics
 
     @property
     def cache_dir(self) -> Optional[Path]:
@@ -380,7 +413,7 @@ class SweepRunner:
             payload = pickle.loads(payload_bytes)
             if not isinstance(payload, dict):
                 raise TypeError(f"cache payload is {type(payload).__name__}, not dict")
-            if payload.get("format") != CACHE_FORMAT_VERSION:
+            if payload.get("format") not in COMPATIBLE_CACHE_FORMATS:
                 return None, False, None  # stale but well-formed: an ordinary miss
             return payload["run"], False, digest
         except StoreError:
@@ -398,6 +431,12 @@ class SweepRunner:
         """Publish one cache entry; returns the blob content digest."""
         if key is None or self.store is None:
             return None
+        records = getattr(run, "records", None)
+        if records is not None:
+            # The records are published as their own blob (below); the run
+            # payload is pickled without them so a cached run blob stays
+            # byte-identical whether or not analytics was enabled.
+            run = replace(run, records=None)
         payload = {
             "format": CACHE_FORMAT_VERSION,
             "key": task.resolved_key(),
@@ -418,6 +457,12 @@ class SweepRunner:
             pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         )
         self.store.put(key, enveloped)
+        if records is not None:
+            from repro.analytics.store import publish_run_records
+
+            records.meta.setdefault("task_key", task.resolved_key())
+            records.meta.setdefault("kwargs", _canonical_kwargs(task.kwargs))
+            publish_run_records(self.store, key, records, run_digest=digest)
         return digest
 
     # ------------------------------------------------------------------ #
@@ -429,6 +474,11 @@ class SweepRunner:
         executor must finish the whole plan.
         """
         tasks = list(tasks)
+        if self.analytics:
+            tasks = [
+                task if task.analytics else replace(task, analytics=True)
+                for task in tasks
+            ]
         keys = [task.resolved_key() for task in tasks]
         if len(set(keys)) != len(keys):
             dupes = sorted({k for k in keys if keys.count(k) > 1})

@@ -25,6 +25,39 @@ from repro.simulator.job import Job, JobState
 from repro.simulator.pending_queue import PendingQueue
 from repro.simulator.reservation import ReservationMap
 
+try:  # Protocol is structural-typing sugar; degrade gracefully without it.
+    from typing import Protocol
+except ImportError:  # pragma: no cover - Python < 3.8
+    Protocol = object  # type: ignore[assignment]
+
+
+class JobSink(Protocol):
+    """Consumer of completed jobs, invoked once per job at completion time.
+
+    The simulation dispatches every finished :class:`Job` — in completion
+    order, while its resource history and CPU maps are still attached — to
+    each registered sink.  Aggregation (:class:`StreamingMetrics`), job
+    retention (:class:`RetainedJobsSink`) and per-job record capture
+    (:class:`repro.analytics.JobRecordSink`) are all sinks behind this one
+    dispatch point.  A sink must not mutate the job: later sinks in the
+    chain (and the scheduler's ``on_job_end`` hook) see the same object.
+    """
+
+    def fold(self, job: Job) -> None:  # pragma: no cover - protocol stub
+        ...
+
+
+class RetainedJobsSink:
+    """The ``retain_jobs=True`` mode as a sink: keep every completed job."""
+
+    __slots__ = ("completed",)
+
+    def __init__(self, completed: List[Job]) -> None:
+        self.completed = completed
+
+    def fold(self, job: Job) -> None:
+        self.completed.append(job)
+
 
 class _FullAllocationSpeedModel:
     """Default runtime model: speed scales with the worst (most shrunk) node.
@@ -162,6 +195,12 @@ class Simulation:
         discarded, so memory stays near-constant in the job count; the
         aggregate fields of the result are unchanged, but per-job
         post-processing (heatmaps, daily series) is unavailable.
+    sinks:
+        Extra :class:`JobSink` consumers of completed jobs.  Every job is
+        dispatched once, at completion, to :attr:`streaming`, then (when
+        retaining) to the retention sink, then to these — so an analytics
+        sink observes exactly the jobs, in exactly the order, that the
+        metrics fold.
     """
 
     #: Sentinel so ``power_model=None`` (disable energy accounting) stays
@@ -177,6 +216,7 @@ class Simulation:
         power_model=_DEFAULT_POWER_MODEL,
         use_requested_time_for_predictions: bool = True,
         retain_jobs: bool = True,
+        sinks: Iterable["JobSink"] = (),
     ) -> None:
         self.cluster = cluster
         self.scheduler = scheduler
@@ -196,6 +236,14 @@ class Simulation:
         #: sync with :attr:`completed`, and the only record when
         #: ``retain_jobs=False``).
         self.streaming = StreamingMetrics()
+        # The job-completion dispatch chain: metrics first, retention next,
+        # extra sinks (analytics, user-supplied) last.  The bound ``fold``
+        # methods are cached so the hot loop skips attribute lookups.
+        self._sinks: List[JobSink] = [self.streaming]
+        if retain_jobs:
+            self._sinks.append(RetainedJobsSink(self.completed))
+        self._sinks.extend(sinks)
+        self._sink_folds = [sink.fold for sink in self._sinks]
 
         self.now: float = 0.0
         self._total_events: int = 0
@@ -216,6 +264,11 @@ class Simulation:
 
         if hasattr(self.scheduler, "bind"):
             self.scheduler.bind(self)
+
+    def add_sink(self, sink: "JobSink") -> None:
+        """Register an extra completed-job sink (appended to the chain)."""
+        self._sinks.append(sink)
+        self._sink_folds = [s.fold for s in self._sinks]
 
     # ------------------------------------------------------------------ #
     # Workload loading
@@ -427,13 +480,13 @@ class Simulation:
         self._invalidate_profile()
         self.running.pop(job_id, None)
         self._last_end = max(self._last_end, self.now)
-        self.streaming.fold(job)
-        if self.retain_jobs:
-            self.completed.append(job)
+        for fold in self._sink_folds:
+            fold(job)
         if hasattr(self.scheduler, "on_job_end"):
             self.scheduler.on_job_end(self, job)
         if not self.retain_jobs:
-            # Folded; drop the per-job state (resource history, CPU maps).
+            # Folded into every sink; drop the per-job state (resource
+            # history, CPU maps).
             del self.jobs[job_id]
 
     def step(self) -> bool:

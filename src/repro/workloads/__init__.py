@@ -34,7 +34,7 @@ from repro.workloads.presets import (
     workload_5,
 )
 from repro.workloads.scaling import scale_to_system, subsample
-from repro.workloads.swf import read_swf, write_swf
+from repro.workloads.swf import iter_swf, read_swf, summarize_swf, write_swf
 from repro.workloads.synthetic import CEACurieLikeModel, RICCLikeModel
 
 __all__ = [
@@ -48,7 +48,9 @@ __all__ = [
     "WorkloadSpec",
     "assign_applications",
     "build_workload",
+    "iter_swf",
     "read_swf",
+    "summarize_swf",
     "scale_to_system",
     "subsample",
     "workload_1",

@@ -1,0 +1,308 @@
+"""Tests for the job-level analytics layer.
+
+Covers the full chain: the :class:`JobRecordSink` riding the simulator's
+completion dispatch, columnar (de)serialisation, the bit-identity of
+aggregates recomputed from persisted records, cache/manifest format
+compatibility, and the cross-sweep ``query`` engine — including the
+acceptance property that ``query --report`` regenerates Figures 1-3/7
+byte-identically from stored records alone, across a two-shard merge.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.analytics.records import (
+    JOB_RECORD_DTYPE,
+    RECORD_SCHEMA_VERSION,
+    JobRecordSink,
+    RunRecords,
+    metrics_from_records,
+)
+from repro.analytics.store import (
+    AnalyticsError,
+    load_run_records,
+    publish_run_records,
+    records_key,
+)
+from repro.analytics.query import (
+    QueryError,
+    list_runs,
+    outcome_from_records,
+    render_stored_report,
+    run_query,
+)
+from repro.experiments.executors import (
+    MANIFEST_FORMAT_VERSION,
+    MergeExecutor,
+    ShardedExecutor,
+)
+from repro.experiments.paper import (
+    figure_1_to_3_maxsd_sweep,
+    figure_7_daily_series,
+    maxsd_sweep_spec,
+)
+from repro.experiments.runner import run_workload
+from repro.experiments.sweep import (
+    CACHE_FORMAT_VERSION,
+    CACHE_KEY_VERSION,
+    COMPATIBLE_CACHE_FORMATS,
+    SweepRunner,
+    SweepTask,
+    _canonical_kwargs,
+    task_cache_key,
+)
+from repro.store import MemoryStore, gc, wrap_blob
+from repro.workloads.cirne import CirneWorkloadModel
+from repro.workloads.presets import build_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return CirneWorkloadModel(
+        num_jobs=80, system_nodes=16, cpus_per_node=8, max_job_nodes=8,
+        target_load=1.0, median_runtime_s=1800.0, seed=13, name="analytics_test",
+    ).generate()
+
+
+# --------------------------------------------------------------------- #
+# Sink + serialisation
+# --------------------------------------------------------------------- #
+class TestRecordsRoundTrip:
+    def test_sink_captures_every_completed_job(self, workload):
+        run = run_workload(workload, "sd_policy", analytics=True,
+                           max_slowdown=10.0)
+        assert run.records is not None
+        assert len(run.records.array) == run.result.num_jobs
+        assert run.records.array.dtype == JOB_RECORD_DTYPE
+
+    def test_bytes_round_trip_is_exact(self, workload):
+        run = run_workload(workload, "static_backfill", analytics=True)
+        blob = run.records.to_bytes()
+        back = RunRecords.from_bytes(blob)
+        assert back.schema == RECORD_SCHEMA_VERSION
+        assert back.meta == run.records.meta
+        assert np.array_equal(back.array, run.records.array)
+
+    def test_truncated_blob_rejected(self, workload):
+        run = run_workload(workload, "static_backfill", analytics=True)
+        blob = run.records.to_bytes()
+        with pytest.raises(ValueError):
+            RunRecords.from_bytes(blob[: len(blob) // 2])
+        with pytest.raises(ValueError):
+            RunRecords.from_bytes(b"\x00" * 4)
+
+    def test_streamed_and_retained_runs_record_identically(self, workload):
+        kept = run_workload(workload, "sd_policy", analytics=True,
+                            max_slowdown=10.0)
+        streamed = run_workload(workload, "sd_policy", analytics=True,
+                                retain_jobs=False, max_slowdown=10.0)
+        assert np.array_equal(kept.records.array, streamed.records.array)
+
+
+class TestAggregateBitIdentity:
+    """Satellite: metrics recomputed from persisted records are bit-identical
+    to both metric paths (``compute_metrics`` over retained jobs, and
+    ``StreamingMetrics`` folds) for every paper preset."""
+
+    @pytest.mark.parametrize("preset", [1, 2, 3, 4, 5])
+    @pytest.mark.parametrize("retain_jobs", [True, False])
+    def test_presets_round_trip_bit_identical(self, preset, retain_jobs):
+        wl = build_workload(preset, scale=0.02, seed=preset)
+        run = run_workload(wl, "sd_policy", analytics=True,
+                           retain_jobs=retain_jobs, max_slowdown=10.0)
+        revived = RunRecords.from_bytes(run.records.to_bytes())
+        assert metrics_from_records(revived).as_dict() == run.metrics.as_dict()
+
+    def test_empty_records_yield_zero_metrics(self):
+        sink = JobRecordSink()
+        records = RunRecords(array=sink.to_array(), meta={"energy_joules": 0.0})
+        metrics = metrics_from_records(records)
+        assert metrics.num_jobs == 0
+        assert metrics.makespan == 0.0
+
+
+# --------------------------------------------------------------------- #
+# Store integration
+# --------------------------------------------------------------------- #
+class TestAnalyticsStore:
+    def test_publish_and_load(self, workload):
+        store = MemoryStore()
+        run = run_workload(workload, "static_backfill", analytics=True)
+        publish_run_records(store, "a" * 16, run.records)
+        back = load_run_records(store, "a" * 16)
+        assert np.array_equal(back.array, run.records.array)
+
+    def test_missing_records_error_suggests_analytics(self):
+        with pytest.raises(AnalyticsError, match="--analytics"):
+            load_run_records(MemoryStore(), "b" * 16)
+
+    def test_sweep_publishes_records_and_run_blob_stays_plain(self, workload):
+        """The cached run payload carries no records either way: they live
+        in their own blob, so plain and analytics runners share entries."""
+        from repro.store import unwrap_blob
+
+        task = SweepTask(workload=workload, policy="static_backfill",
+                         key="plain", seed=0)
+        plain_store, analytics_store = MemoryStore(), MemoryStore()
+        SweepRunner(max_workers=1, store=plain_store).run([task])
+        SweepRunner(max_workers=1, store=analytics_store, analytics=True).run([task])
+        key = task_cache_key(task)
+        for store in (plain_store, analytics_store):
+            payload = pickle.loads(unwrap_blob(store.get(key))[0])
+            assert payload["format"] == CACHE_FORMAT_VERSION
+            assert getattr(payload["run"], "records", None) is None
+        assert analytics_store.get(records_key(key)) is not None
+        assert plain_store.get(records_key(key)) is None
+        # A plain runner consumes the analytics runner's entry as a hit.
+        rerun = SweepRunner(max_workers=1, store=analytics_store).run([task])
+        assert rerun.cache_hits == 1
+
+    def test_gc_keeps_analytics_pinned_blobs(self, workload):
+        """The analytics manifest references both the run and records blobs,
+        so a manifest-aware gc never collects an analytics sweep."""
+        store = MemoryStore()
+        task = SweepTask(workload=workload, policy="static_backfill",
+                         key="pinned", seed=0)
+        SweepRunner(max_workers=1, store=store, analytics=True).run([task])
+        key = task_cache_key(task)
+        gc(store, grace_seconds=0.0)
+        assert store.get(key) is not None
+        assert store.get(records_key(key)) is not None
+
+    def test_analytics_requires_store(self):
+        with pytest.raises(ValueError, match="result store"):
+            SweepRunner(max_workers=1, analytics=True)
+
+
+class TestFormatCompatibility:
+    """Satellite: format bump — v3 blobs written before the analytics layer
+    still load (and merge into new sweeps) as ordinary cache hits."""
+
+    def test_version_constants(self):
+        assert CACHE_FORMAT_VERSION == 4
+        assert CACHE_KEY_VERSION == 3  # key encoding unchanged: old blobs resolve
+        assert 3 in COMPATIBLE_CACHE_FORMATS
+        assert CACHE_FORMAT_VERSION in COMPATIBLE_CACHE_FORMATS
+        assert MANIFEST_FORMAT_VERSION == 4
+
+    def test_pre_analytics_blob_still_hits(self, workload):
+        task = SweepTask(workload=workload, policy="static_backfill",
+                         key="legacy", seed=0)
+        run = run_workload(workload, "static_backfill", seed=task.resolved_seed())
+        # Emulate a pre-analytics pickle: format 3, and no `records`
+        # attribute at all in the PolicyRun state.
+        run.__dict__.pop("records", None)
+        payload = {
+            "format": 3,
+            "key": task.resolved_key(),
+            "policy": task.policy,
+            "seed": task.resolved_seed(),
+            "kwargs": _canonical_kwargs(task.kwargs),
+            "workload": workload.name,
+            "run": run,
+        }
+        enveloped, _ = wrap_blob(
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        store = MemoryStore()
+        store.put(task_cache_key(task), enveloped)
+        result = SweepRunner(max_workers=1, store=store).run([task])
+        assert result.cache_hits == 1
+        served = result["legacy"]
+        assert getattr(served, "records", None) is None
+        assert served.metrics.as_dict() == run.metrics.as_dict()
+
+
+# --------------------------------------------------------------------- #
+# Query engine
+# --------------------------------------------------------------------- #
+class TestQuery:
+    @pytest.fixture(scope="class")
+    def populated(self, workload):
+        store = MemoryStore()
+        runner = SweepRunner(max_workers=1, store=store, analytics=True)
+        result = figure_1_to_3_maxsd_sweep(workload, runner=runner)
+        return store, result
+
+    def test_list_runs(self, populated):
+        store, _ = populated
+        text = list_runs(store)
+        assert "baseline" in text
+        assert "DynAVGSD" in text
+
+    def test_group_by_label(self, populated):
+        store, _ = populated
+        text = run_query(store, group_by="label",
+                         metrics=[("slowdown", "mean"), ("job_id", "count")])
+        assert "MAXSD 10" in text
+        assert "static_backfill" in text  # the baseline run's label
+
+    def test_row_filter_and_errors(self, populated):
+        store, _ = populated
+        text = run_query(store, where=[("malleable", "1")],
+                         metrics=[("slowdown", "p99")])
+        assert "job row(s)" in text
+        with pytest.raises(QueryError, match="unknown"):
+            run_query(store, metrics=[("not_a_column", "mean")])
+        with pytest.raises(QueryError, match="unknown aggregation"):
+            run_query(store, metrics=[("slowdown", "sum")])
+        with pytest.raises(QueryError, match="no analytics runs"):
+            run_query(MemoryStore())
+
+    def test_fig1_to_3_report_is_byte_identical(self, populated, workload):
+        store, result = populated
+        assert render_stored_report(store, "fig1-3", workload=workload) == result.text
+
+    def test_single_figure_is_a_chart_of_the_full_report(self, populated, workload):
+        store, result = populated
+        fig2 = render_stored_report(store, "fig2", workload=workload)
+        assert fig2 in result.text
+        assert fig2.startswith("Figure 2")
+
+    def test_outcome_from_records_normalises_like_the_sweep(self, populated, workload):
+        store, _ = populated
+        spec = maxsd_sweep_spec(workload.name)
+        outcome = outcome_from_records(spec, workload, store)
+        normalized = outcome.normalized()
+        assert set(normalized) == {
+            "MAXSD 5", "MAXSD 10", "MAXSD 50", "MAXSD inf", "DynAVGSD"
+        }
+        for vals in normalized.values():
+            assert vals["makespan"] > 0
+
+    def test_report_without_records_raises(self, workload):
+        with pytest.raises(QueryError, match="--analytics"):
+            render_stored_report(MemoryStore(), "fig1-3", workload=workload)
+
+    def test_fig7_report_is_byte_identical(self, workload):
+        store = MemoryStore()
+        runner = SweepRunner(max_workers=1, store=store, analytics=True)
+        result = figure_7_daily_series(workload, max_slowdown=10.0, runner=runner)
+        regenerated = render_stored_report(
+            store, "fig7", workload=workload, max_slowdown=10.0
+        )
+        assert regenerated == result.text
+
+    def test_sharded_merge_then_query_is_byte_identical(self, workload):
+        """Acceptance: two analytics shards through one shared store, merged,
+        then regenerated from records alone — same bytes."""
+        store = MemoryStore()
+        for index in range(2):
+            figure_1_to_3_maxsd_sweep(
+                workload,
+                runner=SweepRunner(
+                    max_workers=1, store=store, analytics=True,
+                    executor=ShardedExecutor(index, 2),
+                ),
+            )
+        merged = figure_1_to_3_maxsd_sweep(
+            workload,
+            runner=SweepRunner(max_workers=1, store=store,
+                               executor=MergeExecutor()),
+        )
+        assert merged.complete
+        assert render_stored_report(store, "fig1-3", workload=workload) == merged.text

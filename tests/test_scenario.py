@@ -261,6 +261,24 @@ class TestExecution:
         with pytest.raises(ScenarioError, match="retain_jobs=False"):
             render_report(outcome)
 
+    def test_streamed_run_error_names_report_and_suggests_recovery(self, workload):
+        """The streamed-run error must say which report needs per-job data
+        and point at both escape hatches (--retain-jobs and --analytics)."""
+        spec = _spec(
+            grid={"max_slowdown": [10.0]},
+            base={"runtime_model": "ideal", "sharing_factor": 0.5,
+                  "retain_jobs": False},
+            report="daily",
+        )
+        outcome = run_scenario(spec, workloads=workload)
+        with pytest.raises(ScenarioError) as excinfo:
+            render_report(outcome)
+        message = str(excinfo.value)
+        assert "'daily'" in message
+        assert "--retain-jobs" in message
+        assert "--analytics" in message
+        assert "repro-sdpolicy query" in message
+
     def test_workload_only_scenario_runs_nothing(self):
         spec = ScenarioSpec(
             name="mixonly",

@@ -196,3 +196,56 @@ class TestRoundTripProperty:
         second.seek(0)
         twice = read_swf(second, cpus_per_node=workload.cpus_per_node)
         assert [r.__dict__ for r in twice.records] == [r.__dict__ for r in once.records]
+
+
+class TestStreamingSWF:
+    """The streaming pass (`iter_swf`/`summarize_swf`) must agree exactly
+    with materialising the workload and calling `describe()`."""
+
+    def test_iter_swf_matches_read_swf(self):
+        from repro.workloads.swf import iter_swf
+
+        records = list(iter_swf(io.StringIO(SAMPLE_SWF)))
+        wl = read_swf(io.StringIO(SAMPLE_SWF))
+        assert [r.job_id for r in records] == [r.job_id for r in wl.records]
+
+    def test_iter_swf_collects_header_and_honours_max_jobs(self):
+        from repro.workloads.swf import iter_swf
+
+        header = {}
+        records = list(iter_swf(io.StringIO(SAMPLE_SWF), max_jobs=1, header=header))
+        assert len(records) == 1
+        assert header == {"nodes": 64, "procs": 512}
+
+    def test_summarize_matches_describe_bit_identically(self):
+        from repro.workloads.swf import summarize_swf
+
+        assert (
+            summarize_swf(io.StringIO(SAMPLE_SWF))
+            == read_swf(io.StringIO(SAMPLE_SWF)).describe()
+        )
+
+    def test_summarize_matches_describe_on_generated_log(self):
+        from repro.workloads.cirne import CirneWorkloadModel
+        from repro.workloads.swf import summarize_swf
+
+        wl = CirneWorkloadModel(
+            num_jobs=200, system_nodes=32, cpus_per_node=8, max_job_nodes=16,
+            target_load=1.0, median_runtime_s=1800.0, seed=3, name="stream",
+        ).generate()
+        buf = io.StringIO()
+        write_swf(wl, buf)
+        text = buf.getvalue()
+        described = read_swf(io.StringIO(text)).describe()
+        summarized = summarize_swf(io.StringIO(text))
+        assert summarized == described
+        # Bounded reads agree too (the iterator caps *yielded* records,
+        # exactly like read_swf caps kept ones).
+        assert summarize_swf(io.StringIO(text), max_jobs=37) == read_swf(
+            io.StringIO(text), max_jobs=37
+        ).describe()
+
+    def test_summarize_empty_log(self):
+        from repro.workloads.swf import summarize_swf
+
+        assert summarize_swf(io.StringIO("; MaxNodes: 4\n")) == {"jobs": 0}
