@@ -10,7 +10,7 @@ structure so a visual side-by-side comparison with the paper is direct.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Sequence
 
 from repro.analysis.tables import format_table
 from repro.metrics.heatmap import CategoryGrid

@@ -7,7 +7,7 @@ helpers for consistent formatting.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.metrics.aggregates import WorkloadMetrics
 

@@ -26,6 +26,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.comparison import normalize_to_baseline
 from repro.analysis.figures import render_bar_chart
 from repro.analysis.tables import format_table
 from repro.analytics.records import (
@@ -50,7 +51,6 @@ from repro.experiments.scenario import (
     _resolve_workloads,
 )
 from repro.experiments.sweep import task_cache_key
-from repro.analysis.comparison import normalize_to_baseline
 from repro.simulator.simulation import SimulationResult
 from repro.store import ResultStore
 from repro.workloads.job_record import Workload

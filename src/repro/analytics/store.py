@@ -29,6 +29,7 @@ from repro.analytics.records import RECORD_SCHEMA_VERSION, RunRecords
 from repro.store import ResultStore, StoreError, unwrap_blob, wrap_blob
 
 __all__ = [
+    "ANALYTICS_MANIFEST_FIELDS",
     "ANALYTICS_MANIFEST_PREFIX",
     "AnalyticsError",
     "analytics_manifest_name",
@@ -40,6 +41,21 @@ __all__ = [
 
 #: Manifest-name namespace of the analytics layer.
 ANALYTICS_MANIFEST_PREFIX = "analytics-"
+
+#: Declared key layout of an analytics manifest
+#: (:func:`publish_run_records`).  ``repro.devtools.formats`` fingerprints
+#: this into ``formats.lock``: changing the manifest shape without bumping
+#: ``RECORD_SCHEMA_VERSION`` fails CI.
+ANALYTICS_MANIFEST_FIELDS = (
+    "kind",
+    "schema",
+    "cache_key",
+    "records_key",
+    "records_digest",
+    "rows",
+    "meta",
+    "tasks",
+)
 
 #: Blob-key suffix of a run's serialized records.
 _RECORDS_KEY_SUFFIX = "-records"

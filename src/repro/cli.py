@@ -24,7 +24,9 @@ shell (installed as ``repro-sdpolicy`` or via ``python -m repro``):
 * ``query`` — aggregate persisted per-job records (``--analytics`` runs)
   across every sweep in a store, or regenerate Figures 1-3/7 and Table 1
   byte-identically from the records without re-simulating;
-* ``swf`` — inspect a Standard Workload Format file.
+* ``swf`` — inspect a Standard Workload Format file;
+* ``lint`` — the repro-lint static-analysis pass (determinism, store
+  discipline, exception discipline; ``--list-rules`` prints the catalog).
 
 Every sweep-backed subcommand accepts ``--store URL`` selecting a result
 store backend (``file://…``, ``memory://…``, ``s3+http(s)://…``) instead
@@ -53,6 +55,8 @@ import sys
 from typing import Optional, Sequence
 
 from repro.analysis.tables import metrics_table
+from repro.devtools.lint import cli as lint_cli
+from repro.experiments.executors import parse_shard
 from repro.experiments.paper import (
     figure_1_to_3_maxsd_sweep,
     figure_4_to_6_heatmaps,
@@ -76,7 +80,6 @@ from repro.experiments.sweep import (
     ShardedExecutor,
     SweepRunner,
 )
-from repro.experiments.executors import parse_shard
 from repro.store import (
     StoreError,
     gc,
@@ -646,6 +649,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 2
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    return lint_cli.run(
+        paths=args.paths,
+        rules=args.rules,
+        as_json=args.json,
+        list_rules=args.list_rules,
+        show_suppressed=args.show_suppressed,
+    )
+
+
 def _cmd_swf(args: argparse.Namespace) -> int:
     # One streaming pass: same output as read_swf().describe(), without
     # materialising the record list (100k-line logs inspect in ~1.6 MiB).
@@ -889,6 +902,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--runtime-model", default="ideal",
                          choices=["ideal", "worst_case"])
     p_query.set_defaults(func=_cmd_query)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the repro-lint static-analysis pass (determinism, store "
+             "discipline, exception discipline) over source paths",
+    )
+    lint_cli.add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_swf = sub.add_parser("swf", help="inspect a Standard Workload Format log")
     p_swf.add_argument("path")

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import TYPE_CHECKING, Iterable, Optional
+from typing import TYPE_CHECKING
 
 from repro.simulator.job import Job, JobState
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Dict, Iterable, Mapping, Sequence, Tuple
+from typing import Mapping, Sequence
 
 from repro.simulator.job import Job, ResourceSlot
 

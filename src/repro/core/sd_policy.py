@@ -23,8 +23,8 @@ static backfill path.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.core.mate_selection import MateSelection, MateSelector
 from repro.core.penalties import (

@@ -1,0 +1,50 @@
+"""repro-lint: an AST lint suite for this repository's invariants.
+
+Rule families (see ``repro-sdpolicy lint --list-rules`` for the catalog):
+
+* **determinism** (``det-*``) — unseeded randomness, wall-clock/uuid reads
+  and unordered set iteration in simulation, cache-key and persistence
+  paths;
+* **store discipline** (``store-*``) — all persistence routed through
+  :class:`repro.store.ResultStore` and the atomic-write helpers;
+* **exception discipline** (``exc-*``) — no bare or silently-swallowed
+  handlers in ``simulator/``, ``store/``, ``experiments/``;
+* **lint hygiene** (``lint-*``) — parse failures and stale, unknown or
+  unjustified suppressions.
+
+A finding is silenced — never deleted — with a justified comment on its
+line or the line above::
+
+    # repro: allow[exc-swallow] delete is idempotent; a lost race is success
+
+Run it as ``repro-sdpolicy lint src tests`` or
+``python -m repro.devtools.lint src tests``.
+"""
+
+from repro.devtools.lint.engine import (
+    DEFAULT_EXCLUDES,
+    LintError,
+    LintReport,
+    collect_files,
+    lint_paths,
+    lint_source,
+    select_rules,
+)
+from repro.devtools.lint.findings import Finding, Suppression
+from repro.devtools.lint.registry import Rule, all_rules, get_rule, rule_ids
+
+__all__ = [
+    "DEFAULT_EXCLUDES",
+    "Finding",
+    "LintError",
+    "LintReport",
+    "Rule",
+    "Suppression",
+    "all_rules",
+    "collect_files",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "rule_ids",
+    "select_rules",
+]

@@ -1,0 +1,93 @@
+"""Argument handling shared by ``repro-sdpolicy lint`` and ``python -m``.
+
+Both entry points funnel into :func:`run`, so flags, output and exit codes
+cannot drift between them.  Exit status: 0 — no findings; 1 — findings;
+2 — invocation error (bad path, unknown rule id).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.devtools.lint.engine import LintError, lint_paths
+from repro.devtools.lint.reporters import (
+    render_catalog,
+    render_catalog_json,
+    render_json,
+    render_text,
+)
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the lint flags on a parser (shared with the main CLI)."""
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (e.g. src tests)",
+    )
+    parser.add_argument(
+        "--rules", type=str, default=None, metavar="ID,ID",
+        help="run only these rule ids (default: every registered rule)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable report (schema version 1)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog (id, severity, scope, rationale) and exit",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also list suppressed findings with their justifications",
+    )
+
+
+def run(
+    paths: Sequence[str],
+    rules: Optional[str] = None,
+    as_json: bool = False,
+    list_rules: bool = False,
+    show_suppressed: bool = False,
+) -> int:
+    """Execute one lint invocation; returns the process exit status."""
+    if list_rules:
+        print(render_catalog_json() if as_json else render_catalog())
+        return 0
+    if not paths:
+        print("error: give at least one PATH to lint (e.g. src tests)",
+              file=sys.stderr)
+        return 2
+    only: Optional[List[str]] = None
+    if rules is not None:
+        only = [part.strip() for part in rules.split(",") if part.strip()]
+    try:
+        report = lint_paths(paths, only_rules=only, relative_to=Path.cwd())
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if as_json:
+        print(render_json(report))
+    else:
+        print(render_text(report, verbose=show_suppressed))
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro.devtools.lint``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="repro-lint: determinism & format-discipline static "
+                    "analysis for this repository",
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    return run(
+        paths=args.paths,
+        rules=args.rules,
+        as_json=args.json,
+        list_rules=args.list_rules,
+        show_suppressed=args.show_suppressed,
+    )

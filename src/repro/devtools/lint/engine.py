@@ -1,0 +1,282 @@
+"""Lint engine: file collection, rule dispatch, suppression matching.
+
+One :func:`lint_paths` call walks the requested files/directories, runs
+every selected rule's AST visitor over each parseable file, applies the
+``# repro: allow[rule-id]`` suppressions and returns a :class:`LintReport`
+of the surviving findings.  The engine itself also implements the four
+``lint-*`` meta rules (parse failures and suppression hygiene).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.devtools.lint.findings import Finding, Suppression
+from repro.devtools.lint.registry import Rule, all_rules
+from repro.devtools.lint.suppress import parse_suppressions
+
+__all__ = ["DEFAULT_EXCLUDES", "LintError", "LintReport", "collect_files",
+           "lint_paths", "lint_source", "scope_parts", "select_rules"]
+
+#: Directory names never descended into.  ``lint_fixtures`` holds the
+#: deliberately-violating snippets the linter's own tests run on — pass a
+#: path inside it explicitly to lint it anyway.
+DEFAULT_EXCLUDES = frozenset(
+    {
+        ".git",
+        "__pycache__",
+        ".hypothesis",
+        ".pytest_cache",
+        ".benchmarks",
+        "build",
+        "dist",
+        "lint_fixtures",
+    }
+)
+
+#: A fixture path mirrors the scoped layout below this marker, so
+#: ``tests/lint_fixtures/simulator/x.py`` scopes exactly like
+#: ``src/repro/simulator/x.py``.
+_FIXTURE_MARKER = "lint_fixtures"
+
+
+class LintError(Exception):
+    """A user-fixable lint invocation problem (bad path, unknown rule)."""
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Tuple[Finding, Suppression]] = field(default_factory=list)
+    files: int = 0
+    rules: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> dict:
+        by_rule: dict = {}
+        for finding in self.findings:
+            by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        return {
+            "version": 1,
+            "ok": self.ok,
+            "files": self.files,
+            "rules": list(self.rules),
+            "findings": [finding.as_dict() for finding in self.findings],
+            "suppressed": [
+                dict(finding.as_dict(), justification=suppression.justification)
+                for finding, suppression in self.suppressed
+            ],
+            "summary": {
+                "findings": len(self.findings),
+                "suppressed": len(self.suppressed),
+                "by_rule": by_rule,
+            },
+        }
+
+
+def scope_parts(path: Path) -> Tuple[str, ...]:
+    """Path components used for rule scoping.
+
+    Below a ``lint_fixtures`` directory only the mirrored tail counts, so
+    fixtures scope like the tree they imitate.
+    """
+    parts = path.parts
+    if _FIXTURE_MARKER in parts:
+        parts = parts[parts.index(_FIXTURE_MARKER) + 1:]
+    return tuple(parts)
+
+
+def collect_files(
+    paths: Sequence[Path], excludes: Iterable[str] = DEFAULT_EXCLUDES
+) -> List[Path]:
+    """Expand files/directories into a sorted, deduplicated .py file list.
+
+    Excluded directory *names* are pruned during descent; a path given
+    explicitly is always included, which is how the linter's own tests
+    lint the fixture tree.
+    """
+    excluded = set(excludes)
+    seen = {}
+    for path in paths:
+        if not path.exists():
+            raise LintError(f"no such file or directory: {path}")
+        if path.is_file():
+            seen[path.resolve()] = path
+            continue
+        stack = [path]
+        while stack:
+            current = stack.pop()
+            for entry in sorted(current.iterdir(), reverse=True):
+                if entry.is_dir():
+                    if entry.name not in excluded:
+                        stack.append(entry)
+                elif entry.suffix == ".py":
+                    seen[entry.resolve()] = entry
+    return sorted(seen.values(), key=lambda p: str(p))
+
+
+def select_rules(only: Optional[Sequence[str]] = None) -> List[Rule]:
+    """The rule set a run uses; ``only`` filters by id (meta rules stay)."""
+    rules = all_rules()
+    if only is None:
+        return rules
+    known = {rule.id for rule in rules}
+    unknown = sorted(set(only) - known)
+    if unknown:
+        raise LintError(
+            f"unknown rule id(s): {', '.join(unknown)} "
+            f"(see --list-rules for the catalog)"
+        )
+    wanted = set(only)
+    return [rule for rule in rules if rule.id in wanted or rule.visitor is None]
+
+
+def lint_source(
+    path: Path,
+    source: str,
+    rules: Sequence[Rule],
+    display_path: Optional[str] = None,
+) -> Tuple[List[Finding], List[Tuple[Finding, Suppression]]]:
+    """Lint one file's source; returns (findings, suppressed findings)."""
+    shown = display_path if display_path is not None else str(path)
+    enabled = {rule.id for rule in rules}
+    parts = scope_parts(path)
+    try:
+        tree = ast.parse(source, filename=shown)
+    except SyntaxError as exc:
+        return (
+            [
+                Finding(
+                    path=shown,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    rule="lint-parse-error",
+                    severity="error",
+                    message=f"cannot parse: {exc.msg}",
+                )
+            ],
+            [],
+        )
+
+    raw: List[Finding] = []
+    applicable = []
+    for rule in rules:
+        if rule.visitor is None or not rule.applies_to(parts):
+            continue
+        applicable.append(rule)
+        visitor = rule.visitor(shown)
+        visitor.visit(tree)
+        raw.extend(visitor.findings)
+
+    suppressions = parse_suppressions(shown, source)
+    # A suppression matches on the finding's own line (trailing comment) or
+    # anywhere in the contiguous block of comment-only lines directly above
+    # it, so multi-line justifications stay readable.
+    comment_only = {
+        number
+        for number, text in enumerate(source.splitlines(), start=1)
+        if text.lstrip().startswith("#")
+    }
+    active: List[Finding] = []
+    suppressed: List[Tuple[Finding, Suppression]] = []
+    for finding in raw:
+        anchors = {finding.line}
+        cursor = finding.line - 1
+        while cursor in comment_only:
+            anchors.add(cursor)
+            cursor -= 1
+        match = None
+        for suppression in suppressions:
+            if suppression.line in anchors and suppression.covers(finding.rule):
+                match = suppression
+                break
+        if match is None:
+            active.append(finding)
+        else:
+            match.used_for[finding.rule] = match.used_for.get(finding.rule, 0) + 1
+            suppressed.append((finding, match))
+
+    applicable_ids = {rule.id for rule in applicable}
+    known_ids = {rule.id for rule in all_rules()}
+    for suppression in suppressions:
+        for rule_id in suppression.rules:
+            if rule_id not in known_ids:
+                active.append(
+                    Finding(
+                        path=shown,
+                        line=suppression.line,
+                        col=1,
+                        rule="lint-unknown-rule",
+                        severity="error",
+                        message=f"suppression names unknown rule {rule_id!r}",
+                    )
+                )
+            elif (
+                rule_id in applicable_ids
+                and rule_id in enabled
+                and rule_id not in suppression.used_for
+            ):
+                active.append(
+                    Finding(
+                        path=shown,
+                        line=suppression.line,
+                        col=1,
+                        rule="lint-unused-suppression",
+                        severity="warning",
+                        message=f"suppression for {rule_id!r} silences nothing "
+                                "here; remove it",
+                    )
+                )
+        if suppression.used_for and not suppression.justification:
+            active.append(
+                Finding(
+                    path=shown,
+                    line=suppression.line,
+                    col=1,
+                    rule="lint-missing-justification",
+                    severity="warning",
+                    message="suppression carries no justification; say why "
+                            "the invariant is safe to waive here",
+                )
+            )
+    return active, suppressed
+
+
+def lint_paths(
+    paths: Sequence[str],
+    only_rules: Optional[Sequence[str]] = None,
+    excludes: Iterable[str] = DEFAULT_EXCLUDES,
+    relative_to: Optional[Path] = None,
+) -> LintReport:
+    """Lint every .py file under ``paths`` with the selected rules."""
+    rules = select_rules(only_rules)
+    files = collect_files([Path(p) for p in paths], excludes=excludes)
+    report = LintReport(rules=tuple(rule.id for rule in rules))
+    report.files = len(files)
+    for path in files:
+        display = path
+        if relative_to is not None:
+            try:
+                display = path.resolve().relative_to(relative_to.resolve())
+            except ValueError:
+                display = path
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"cannot read {path}: {exc}") from exc
+        findings, suppressed = lint_source(
+            path, source, rules, display_path=str(display)
+        )
+        report.findings.extend(findings)
+        report.suppressed.extend(suppressed)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    report.suppressed.sort(key=lambda pair: (pair[0].path, pair[0].line))
+    return report

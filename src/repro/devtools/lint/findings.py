@@ -1,0 +1,65 @@
+"""Finding and suppression value types shared across the lint package."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: Finding severities.  Severity is descriptive — *any* finding fails the
+#: run (CI treats the pass as a gate) — but the catalog and reports use it
+#: to signal how certainly a finding is a bug rather than a style risk.
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, anchored to a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+
+    def render(self) -> str:
+        """The one-line text-reporter form."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppression:
+    """One ``# repro: allow[rule-id, ...] — justification`` comment."""
+
+    path: str
+    line: int
+    rules: Tuple[str, ...]
+    justification: str
+    #: Rule ids this suppression actually silenced (filled by the engine).
+    used_for: Dict[str, int] = field(default_factory=dict)
+
+    def covers(self, rule_id: str) -> bool:
+        return rule_id in self.rules
+
+    def as_dict(self, rule: Optional[str] = None) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rules": list(self.rules),
+            "justification": self.justification,
+            "silenced": dict(self.used_for) if rule is None else rule,
+        }

@@ -1,0 +1,144 @@
+"""The rule registry.
+
+Every rule is a :class:`Rule` — an id, a severity, a path scope, a one-line
+rationale and an :class:`ast.NodeVisitor` factory — registered at import
+time by the modules under :mod:`repro.devtools.lint.rules`.  The registry
+is what ``--rules`` filters and ``--list-rules`` prints, so the catalog is
+always exactly the set of checks that can fire.
+
+Scoping is by path component: a rule with ``scopes=("simulator", "core")``
+only runs on files whose path contains a ``simulator`` or ``core``
+directory, and ``exempt`` components always win over ``scopes``.  Fixture
+trees mirror the layout (``tests/lint_fixtures/simulator/…``) so the same
+matching exercises the rules under test.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["META_RULES", "Rule", "all_rules", "get_rule", "register", "rule_ids"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint check: identity, scope and the visitor that implements it."""
+
+    id: str
+    family: str
+    severity: str
+    #: Path components the rule is confined to; ``None`` means everywhere.
+    scopes: Optional[Tuple[str, ...]]
+    #: Path components the rule never runs on (beats ``scopes``).
+    exempt: Tuple[str, ...]
+    rationale: str
+    #: ``visitor(path) -> ast.NodeVisitor`` with a ``findings`` list; the
+    #: engine-implemented meta rules (suppression hygiene, parse errors)
+    #: have no visitor of their own.
+    visitor: Optional[Callable[[str], "ast.NodeVisitor"]]
+
+    def applies_to(self, parts: Sequence[str]) -> bool:
+        if any(part in self.exempt for part in parts):
+            return False
+        if self.scopes is None:
+            return True
+        return any(part in self.scopes for part in parts)
+
+    @property
+    def scope_text(self) -> str:
+        if self.scopes is None:
+            base = "everywhere"
+        else:
+            base = ", ".join(self.scopes) + "/"
+        if self.exempt:
+            return f"{base} except {', '.join(self.exempt)}/"
+        return base
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+#: Engine-implemented rules: they have no AST visitor but are part of the
+#: catalog (and of ``--rules`` selection) like any other.
+META_RULES = (
+    Rule(
+        id="lint-parse-error",
+        family="lint",
+        severity="error",
+        scopes=None,
+        exempt=(),
+        rationale="a file the pass cannot parse is a file the invariants "
+                  "cannot be checked on",
+        visitor=None,
+    ),
+    Rule(
+        id="lint-unused-suppression",
+        family="lint",
+        severity="warning",
+        scopes=None,
+        exempt=(),
+        rationale="a suppression that silences nothing is stale and hides "
+                  "the next real finding on that line",
+        visitor=None,
+    ),
+    Rule(
+        id="lint-unknown-rule",
+        family="lint",
+        severity="error",
+        scopes=None,
+        exempt=(),
+        rationale="a suppression naming a rule id that does not exist is a "
+                  "typo that silences nothing",
+        visitor=None,
+    ),
+    Rule(
+        id="lint-missing-justification",
+        family="lint",
+        severity="warning",
+        scopes=None,
+        exempt=(),
+        rationale="every suppression must say *why* the invariant is safe "
+                  "to waive at that site",
+        visitor=None,
+    ),
+)
+
+
+def register(rule: Rule) -> Rule:
+    """Add a rule to the registry (id collisions are a programming error)."""
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate lint rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return rule
+
+
+def _ensure_loaded() -> None:
+    # Rule modules self-register on import; importing here (not at module
+    # top) keeps registry.py import-cycle-free for the rule modules.
+    from repro.devtools.lint import rules  # noqa: F401  (import-for-effect)
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule plus the engine meta rules, sorted by id."""
+    _ensure_loaded()
+    return sorted(
+        list(_REGISTRY.values()) + list(META_RULES), key=lambda rule: rule.id
+    )
+
+
+def rule_ids() -> List[str]:
+    return [rule.id for rule in all_rules()]
+
+
+def get_rule(rule_id: str) -> Rule:
+    _ensure_loaded()
+    for rule in META_RULES:
+        if rule.id == rule_id:
+            return rule
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown lint rule {rule_id!r} (known: {', '.join(rule_ids())})"
+        ) from None

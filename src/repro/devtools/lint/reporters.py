@@ -1,0 +1,63 @@
+"""Text and JSON reporters for lint runs and the rule catalog."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.devtools.lint.engine import LintReport
+from repro.devtools.lint.registry import all_rules
+
+
+def render_text(report: LintReport, verbose: bool = False) -> str:
+    """Human-oriented report: one line per finding plus a summary."""
+    lines: List[str] = [finding.render() for finding in report.findings]
+    if verbose:
+        for finding, suppression in report.suppressed:
+            why = suppression.justification or "(no justification)"
+            lines.append(f"{finding.render()}  [suppressed: {why}]")
+    lines.append(
+        f"{len(report.findings)} finding(s), {len(report.suppressed)} "
+        f"suppressed, {report.files} file(s) checked"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report (schema version 1, stable key order)."""
+    return json.dumps(report.as_dict(), indent=2, sort_keys=True)
+
+
+def render_catalog() -> str:
+    """The ``--list-rules`` table: id, severity, scope, rationale."""
+    rules = all_rules()
+    id_width = max(len(rule.id) for rule in rules)
+    sev_width = max(len(rule.severity) for rule in rules)
+    lines = []
+    for rule in rules:
+        lines.append(
+            f"{rule.id:<{id_width}}  {rule.severity:<{sev_width}}  "
+            f"{rule.scope_text}"
+        )
+        lines.append(f"{'':<{id_width}}  {'':<{sev_width}}  {rule.rationale}")
+    return "\n".join(lines)
+
+
+def render_catalog_json() -> str:
+    return json.dumps(
+        {
+            "version": 1,
+            "rules": [
+                {
+                    "id": rule.id,
+                    "family": rule.family,
+                    "severity": rule.severity,
+                    "scope": rule.scope_text,
+                    "rationale": rule.rationale,
+                }
+                for rule in all_rules()
+            ],
+        },
+        indent=2,
+        sort_keys=True,
+    )

@@ -1,0 +1,15 @@
+"""Rule modules; importing this package registers every rule.
+
+Each module registers its rules with
+:func:`repro.devtools.lint.registry.register` at import time:
+
+* :mod:`.determinism` — seeded randomness, wall-clock reads, set ordering;
+* :mod:`.store_discipline` — persistence routed through ``ResultStore``;
+* :mod:`.exceptions` — no bare or silently-swallowed exception handlers.
+"""
+
+from repro.devtools.lint.rules import (  # noqa: F401  (import-for-effect)
+    determinism,
+    exceptions,
+    store_discipline,
+)

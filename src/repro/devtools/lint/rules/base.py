@@ -1,0 +1,106 @@
+"""Shared visitor base: import-alias tracking and finding emission.
+
+The rule visitors need to know what ``random``, ``np.random`` or ``time``
+are *called* in the module under analysis (``import numpy as np``,
+``from time import time as now`` …).  :class:`RuleVisitor` records every
+module alias and every from-imported name as the tree is walked, before
+the rule's own ``visit_*`` hooks see the nodes that use them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.devtools.lint.findings import Finding
+
+
+class RuleVisitor(ast.NodeVisitor):
+    """Base class for per-rule AST visitors.
+
+    Subclasses set the class attributes ``rule_id``/``severity`` (copied
+    from their :class:`~repro.devtools.lint.registry.Rule`) and call
+    :meth:`emit` from their ``visit_*`` hooks.
+    """
+
+    rule_id: str = ""
+    severity: str = "error"
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: List[Finding] = []
+        #: local alias -> dotted module name (``np`` -> ``numpy``).
+        self.module_aliases: Dict[str, str] = {}
+        #: local name -> dotted origin (``now`` -> ``time.time``).
+        self.imported_names: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    def emit(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule=self.rule_id,
+                severity=self.severity,
+                message=message,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Alias bookkeeping (subclasses overriding these must call super()).
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.module_aliases[alias.asname or alias.name.split(".")[0]] = (
+                alias.name if alias.asname else alias.name.split(".")[0]
+            )
+            if alias.asname is None and "." in alias.name:
+                # ``import numpy.random`` binds ``numpy`` but makes the
+                # submodule reachable; remember the full path too.
+                self.module_aliases.setdefault(alias.name, alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.level == 0:
+            for alias in node.names:
+                self.imported_names[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------ #
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted origin of an expression, through the module's imports.
+
+        ``np.random.rand`` resolves to ``numpy.random.rand`` under
+        ``import numpy as np``; a from-imported name resolves to its
+        origin; anything unresolvable returns ``None``.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        head = node.id
+        if head in self.imported_names:
+            parts.append(self.imported_names[head])
+        elif head in self.module_aliases:
+            parts.append(self.module_aliases[head])
+        else:
+            return None
+        return ".".join(reversed(parts))
+
+    def local_names(self, node: ast.AST) -> Set[str]:
+        """Every Name id, attribute name and string literal under ``node``."""
+        names: Set[str] = set()
+        for child in ast.walk(node):
+            if isinstance(child, ast.Name):
+                names.add(child.id)
+            elif isinstance(child, ast.Attribute):
+                names.add(child.attr)
+            elif isinstance(child, ast.Constant) and isinstance(child.value, str):
+                names.add(child.value)
+            elif isinstance(child, ast.keyword) and child.arg:
+                names.add(child.arg)
+        return names

@@ -1,0 +1,218 @@
+"""Determinism rules.
+
+Bit-identical replay is the backbone of this repository: the result cache,
+the sharded merge and the analytics layer all assume that re-running a
+task reproduces its bytes exactly.  These rules reject the three classic
+ways that assumption silently breaks — unseeded randomness, wall-clock or
+environment reads inside simulation/cache-key paths, and iteration over
+unordered sets feeding accumulation or serialization.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.lint.findings import SEVERITY_ERROR, SEVERITY_WARNING
+from repro.devtools.lint.registry import Rule, register
+from repro.devtools.lint.rules.base import RuleVisitor
+
+#: Simulation and cache-key subpackages (per-job math must replay exactly).
+SIMULATION_SCOPES = ("simulator", "core", "workloads", "metrics")
+#: ...plus the sweep/cache-key and record-persistence layers.
+PERSISTENCE_SCOPES = SIMULATION_SCOPES + ("experiments", "analytics")
+
+#: ``numpy.random`` attributes that are explicit-seed constructors, not
+#: draws from the hidden legacy global state.
+_NP_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "MT19937",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+    }
+)
+#: ``random.Random(seed)`` is an explicit, seedable generator instance.
+_STDLIB_RANDOM_ALLOWED = frozenset({"Random"})
+
+_WALLCLOCK_ORIGINS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+
+def _disallowed_random(origin: str) -> bool:
+    if origin.startswith("numpy.random."):
+        return origin.rsplit(".", 1)[1] not in _NP_RANDOM_ALLOWED
+    if origin.startswith("random."):
+        return origin.rsplit(".", 1)[1] not in _STDLIB_RANDOM_ALLOWED
+    return False
+
+
+class UnseededRandomVisitor(RuleVisitor):
+    """``random.*`` / legacy ``np.random.*`` draw from hidden global state."""
+
+    rule_id = "det-unseeded-random"
+    severity = SEVERITY_ERROR
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        super().visit_ImportFrom(node)
+        if node.module in ("random", "numpy.random") and node.level == 0:
+            for alias in node.names:
+                origin = f"{node.module}.{alias.name}"
+                if _disallowed_random(origin):
+                    self.emit(
+                        node,
+                        f"import of {origin} draws from unseeded global state; "
+                        "take a seeded np.random.Generator (an rng parameter "
+                        "or np.random.default_rng(seed)) instead",
+                    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Attribute):
+            origin = self.resolve(node.func)
+            if origin and _disallowed_random(origin):
+                self.emit(
+                    node,
+                    f"{origin}() draws from unseeded global state; route "
+                    "randomness through a seeded np.random.Generator (an rng "
+                    "parameter or np.random.default_rng(seed))",
+                )
+        self.generic_visit(node)
+
+
+class WallclockVisitor(RuleVisitor):
+    """Wall-clock/uuid reads make simulated results depend on when they ran."""
+
+    rule_id = "det-wallclock"
+    severity = SEVERITY_ERROR
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        super().visit_ImportFrom(node)
+        if node.level == 0 and node.module:
+            for alias in node.names:
+                origin = f"{node.module}.{alias.name}"
+                if origin in _WALLCLOCK_ORIGINS:
+                    self.emit(
+                        node,
+                        f"import of {origin} reads the wall clock; simulation "
+                        "and cache-key paths must depend only on their inputs "
+                        "(pass timestamps in, or use time.perf_counter for "
+                        "pure duration measurement)",
+                    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Attribute):
+            origin = self.resolve(node.func)
+            if origin in _WALLCLOCK_ORIGINS:
+                self.emit(
+                    node,
+                    f"{origin}() reads the wall clock; simulation and "
+                    "cache-key paths must depend only on their inputs (pass "
+                    "timestamps in, or use time.perf_counter for pure "
+                    "duration measurement)",
+                )
+        self.generic_visit(node)
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+_SET_MESSAGE = (
+    "iteration over a set has no defined order; wrap it in sorted(...) "
+    "before it feeds accumulation or serialization"
+)
+
+
+class SetOrderVisitor(RuleVisitor):
+    """Bare set iteration feeding loops, collections or joins."""
+
+    rule_id = "det-set-order"
+    severity = SEVERITY_WARNING
+
+    def visit_For(self, node: ast.For) -> None:
+        if _is_set_expr(node.iter):
+            self.emit(node.iter, _SET_MESSAGE)
+        self.generic_visit(node)
+
+    def _check_comprehensions(self, node: ast.AST) -> None:
+        for comp in getattr(node, "generators", []):
+            if _is_set_expr(comp.iter):
+                self.emit(comp.iter, _SET_MESSAGE)
+        self.generic_visit(node)
+
+    visit_ListComp = _check_comprehensions
+    visit_SetComp = _check_comprehensions
+    visit_DictComp = _check_comprehensions
+    visit_GeneratorExp = _check_comprehensions
+
+    def visit_Call(self, node: ast.Call) -> None:
+        materialises = (
+            isinstance(node.func, ast.Name)
+            and node.func.id in ("list", "tuple", "enumerate")
+        ) or (isinstance(node.func, ast.Attribute) and node.func.attr == "join")
+        if materialises and node.args and _is_set_expr(node.args[0]):
+            self.emit(node.args[0], _SET_MESSAGE)
+        self.generic_visit(node)
+
+
+register(
+    Rule(
+        id=UnseededRandomVisitor.rule_id,
+        family="determinism",
+        severity=UnseededRandomVisitor.severity,
+        scopes=SIMULATION_SCOPES,
+        exempt=(),
+        rationale="an unseeded draw makes a cached sweep unreproducible; "
+                  "every sampler takes an explicit seeded Generator",
+        visitor=UnseededRandomVisitor,
+    )
+)
+register(
+    Rule(
+        id=WallclockVisitor.rule_id,
+        family="determinism",
+        severity=WallclockVisitor.severity,
+        scopes=PERSISTENCE_SCOPES,
+        exempt=(),
+        rationale="wall-clock or uuid reads leak real time into simulated "
+                  "results and cache keys",
+        visitor=WallclockVisitor,
+    )
+)
+register(
+    Rule(
+        id=SetOrderVisitor.rule_id,
+        family="determinism",
+        severity=SetOrderVisitor.severity,
+        scopes=PERSISTENCE_SCOPES + ("store",),
+        exempt=(),
+        rationale="set iteration order varies across processes; float "
+                  "summation and serialization must see a sorted sequence",
+        visitor=SetOrderVisitor,
+    )
+)

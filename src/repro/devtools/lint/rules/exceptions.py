@@ -1,0 +1,115 @@
+"""Exception-discipline rules.
+
+A swallowed exception in the simulator corrupts results silently; one in
+the store layer turns a half-written cache into a poisoned sweep; one in
+the experiment runners hides a dead shard.  These rules confine the three
+shapes that history shows go wrong — bare ``except:``, handlers whose
+whole body is ``pass``/``continue``, and broad ``except Exception``
+handlers that never re-raise — to explicit, justified suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.lint.findings import SEVERITY_ERROR, SEVERITY_WARNING
+from repro.devtools.lint.registry import Rule, register
+from repro.devtools.lint.rules.base import RuleVisitor
+
+SCOPES = ("simulator", "store", "experiments")
+
+
+def _is_noop(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+        return True
+    return isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant)
+
+
+def _is_broad(type_node: ast.AST) -> bool:
+    if isinstance(type_node, ast.Name):
+        return type_node.id in ("Exception", "BaseException")
+    if isinstance(type_node, ast.Tuple):
+        return any(_is_broad(element) for element in type_node.elts)
+    return False
+
+
+class BareExceptVisitor(RuleVisitor):
+    """``except:`` catches everything, KeyboardInterrupt/SystemExit included."""
+
+    rule_id = "exc-bare"
+    severity = SEVERITY_ERROR
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.emit(
+                node,
+                "bare except: catches everything including SystemExit and "
+                "KeyboardInterrupt; name the exceptions this site expects",
+            )
+        self.generic_visit(node)
+
+
+class SwallowVisitor(RuleVisitor):
+    """A handler whose whole body is ``pass``/``continue`` hides the error."""
+
+    rule_id = "exc-swallow"
+    severity = SEVERITY_ERROR
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.body and all(_is_noop(stmt) for stmt in node.body):
+            self.emit(
+                node,
+                "exception swallowed (handler body is only pass/continue); "
+                "handle it, narrow it, or suppress with a justification",
+            )
+        self.generic_visit(node)
+
+
+class BroadExceptVisitor(RuleVisitor):
+    """``except Exception`` that never re-raises can mask any defect."""
+
+    rule_id = "exc-broad"
+    severity = SEVERITY_WARNING
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is not None and _is_broad(node.type):
+            reraises = any(
+                isinstance(child, ast.Raise) for child in ast.walk(node)
+            )
+            if not reraises:
+                self.emit(
+                    node,
+                    "broad except Exception without a re-raise can mask any "
+                    "defect; narrow the type, re-raise a typed error, or "
+                    "suppress with a justification",
+                )
+        self.generic_visit(node)
+
+
+for _visitor, _rationale in (
+    (
+        BareExceptVisitor,
+        "a bare except hides interrupts and typos alike",
+    ),
+    (
+        SwallowVisitor,
+        "a silently-dropped error in simulator/store/experiments corrupts "
+        "results or caches with no trace",
+    ),
+    (
+        BroadExceptVisitor,
+        "broad handlers that never re-raise turn programming errors into "
+        "wrong numbers",
+    ),
+):
+    register(
+        Rule(
+            id=_visitor.rule_id,
+            family="exceptions",
+            severity=_visitor.severity,
+            scopes=SCOPES,
+            exempt=(),
+            rationale=_rationale,
+            visitor=_visitor,
+        )
+    )

@@ -1,0 +1,63 @@
+"""Suppression-comment parsing.
+
+The syntax is one comment, on the offending line or on the line directly
+above it::
+
+    value = time.time()  # repro: allow[det-wallclock] benchmark timestamps
+    # repro: allow[exc-swallow] delete is idempotent; a lost race is success
+    except FileNotFoundError:
+        pass
+
+Several ids may share one comment (``allow[exc-swallow, exc-broad]``) and
+everything after the closing bracket — optionally led by ``—``, ``-`` or
+``:`` — is the justification.  The engine reports suppressions that carry
+no justification, silence nothing, or name an unknown rule id.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import List
+
+from repro.devtools.lint.findings import Suppression
+
+__all__ = ["parse_suppressions"]
+
+_PATTERN = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>[^\]]*)\]\s*(?:[-—:]\s*)?(?P<why>.*)$"
+)
+
+
+def parse_suppressions(path: str, source: str) -> List[Suppression]:
+    """Extract every suppression comment of a source file, in line order.
+
+    Tokenized, not regexed over raw lines, so the syntax quoted inside a
+    docstring or string literal is never treated as a live suppression.
+    """
+    found: List[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenizeError, IndentationError, SyntaxError):
+        # The engine reports unparseable files via lint-parse-error; there
+        # are no trustworthy comments to collect here.
+        return found
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PATTERN.search(token.string)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        found.append(
+            Suppression(
+                path=path,
+                line=token.start[0],
+                rules=rules,
+                justification=match.group("why").strip(),
+            )
+        )
+    return found

@@ -13,6 +13,15 @@ DESIGN.md).  The benchmarks and the CLI are thin wrappers around this
 package.
 """
 
+from repro.experiments.executors import (
+    Executor,
+    ExecutorError,
+    MergeExecutor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    ShardedExecutor,
+    parse_shard,
+)
 from repro.experiments.paper import (
     FigureResult,
     figure_1_to_3_maxsd_sweep,
@@ -22,15 +31,6 @@ from repro.experiments.paper import (
     figure_9_real_run,
     table_1_workloads,
     table_2_application_mix,
-)
-from repro.experiments.executors import (
-    Executor,
-    ExecutorError,
-    MergeExecutor,
-    ProcessPoolExecutor,
-    SerialExecutor,
-    ShardedExecutor,
-    parse_shard,
 )
 from repro.experiments.runner import PolicyRun, cluster_for, run_workload
 from repro.experiments.scenario import (

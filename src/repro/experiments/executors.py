@@ -71,6 +71,34 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
 #: version gate forces a consistent fleet.
 MANIFEST_FORMAT_VERSION = 4
 
+#: Declared field layout of a shard manifest and of each of its ``tasks``
+#: records.  ``repro.devtools.formats`` fingerprints these into
+#: ``formats.lock`` and fails CI when the layout changes without a
+#: ``MANIFEST_FORMAT_VERSION`` bump; the manifest-layout tests pin them to
+#: what ``ShardedExecutor`` actually writes.  ``cache_path`` is the one
+#: optional record field (local-FS stores only).
+MANIFEST_FIELDS = (
+    "format",
+    "sweep_id",
+    "shard_index",
+    "shard_count",
+    "total_tasks",
+    "store",
+    "cache_corruptions",
+    "analytics",
+    "tasks",
+)
+MANIFEST_TASK_FIELDS = (
+    "index",
+    "key",
+    "cache_key",
+    "status",
+    "from_cache",
+    "wall_clock_seconds",
+    "digest",
+    "cache_path",
+)
+
 #: Subdirectory of the cache directory holding shard manifests by default.
 MANIFEST_DIR_NAME = "manifests"
 
@@ -139,7 +167,9 @@ def _worker(indexed_task: Tuple[int, "SweepTask"]) -> Tuple[int, str, Any]:
     try:
         run = _execute_task(task)
         return index, "ok", (run, time.perf_counter() - t0)
-    except Exception as exc:  # noqa: BLE001 - must cross the process boundary
+    # repro: allow[exc-broad] worker failures must cross the process
+    # boundary as data; the parent re-raises with the original traceback
+    except Exception as exc:
         return index, "error", (f"{type(exc).__name__}: {exc}", traceback.format_exc())
 
 

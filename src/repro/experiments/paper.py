@@ -22,7 +22,6 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.analysis.tables import format_table
 from repro.experiments.runner import PolicyRun
-from repro.metrics.aggregates import WorkloadMetrics
 from repro.experiments.scenario import (
     ScenarioSpec,
     WorkloadRef,
@@ -34,6 +33,7 @@ from repro.experiments.scenario import (
     scenario_heatmaps,
 )
 from repro.experiments.sweep import SweepResult, SweepRunner, SweepTask
+from repro.metrics.aggregates import WorkloadMetrics
 from repro.workloads.job_record import Workload
 from repro.workloads.presets import PAPER_WORKLOADS, build_workload
 

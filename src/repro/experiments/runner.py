@@ -2,13 +2,12 @@
 
 from __future__ import annotations
 
-import math
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.analytics.records import JobRecordSink, RunRecords
-from repro.core.runtime_model import IdealRuntimeModel, RuntimeModel, WorstCaseRuntimeModel
+from repro.core.runtime_model import RuntimeModel, WorstCaseRuntimeModel
 from repro.core.sd_policy import SDPolicyConfig, SDPolicyScheduler
 from repro.metrics.aggregates import WorkloadMetrics, compute_metrics
 from repro.metrics.energy import LinearPowerModel

@@ -31,8 +31,8 @@ import hashlib
 import json
 import math
 import pickle
-import time
 import re
+import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
@@ -115,6 +115,20 @@ COMPATIBLE_CACHE_FORMATS = (3, 4)
 #: keep hitting cache entries written by pre-analytics versions.  Bump only
 #: when the key inputs themselves change meaning.
 CACHE_KEY_VERSION = 3
+
+#: Declared key layout of the pickled cache payload ``_cache_store``
+#: publishes.  ``repro.devtools.formats`` fingerprints this into
+#: ``formats.lock``: changing the payload shape without bumping
+#: ``CACHE_FORMAT_VERSION`` fails CI.
+CACHE_PAYLOAD_FIELDS = (
+    "format",
+    "key",
+    "policy",
+    "seed",
+    "kwargs",
+    "workload",
+    "run",
+)
 
 
 @dataclass
@@ -410,6 +424,8 @@ class SweepRunner:
             payload_bytes, digest = unwrap_blob(data)
             if digest is None:  # pre-envelope blob: digest of the raw bytes
                 digest = blob_digest(payload_bytes)
+            # repro: allow[store-pickle] the cache codec itself — the bytes
+            # only ever travel inside ResultStore integrity envelopes
             payload = pickle.loads(payload_bytes)
             if not isinstance(payload, dict):
                 raise TypeError(f"cache payload is {type(payload).__name__}, not dict")
@@ -418,9 +434,14 @@ class SweepRunner:
             return payload["run"], False, digest
         except StoreError:
             raise
-        except Exception:  # corrupt entry: quarantine it and treat as a miss
+        # repro: allow[exc-broad] any decode failure here means a corrupt
+        # blob (torn write, bit rot, unpicklable garbage) — quarantined
+        # below and reported distinctly as a corruption, never re-raised
+        except Exception:
             try:
                 self.store.quarantine(key)
+            # repro: allow[exc-swallow] quarantine is best-effort — the
+            # corruption is already counted and this load stays a miss
             except StoreError:
                 pass
             return None, True, None
@@ -454,6 +475,8 @@ class SweepRunner:
         # clients sharing a store must run the same version (the shard
         # manifest format bump enforces this for sharded fan-outs).
         enveloped, digest = wrap_blob(
+            # repro: allow[store-pickle] the cache codec itself — wrapped in
+            # the integrity envelope and published through ResultStore
             pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         )
         self.store.put(key, enveloped)

@@ -17,7 +17,7 @@ emulation refines ``u`` with per-application CPU-utilisation factors
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Iterable, Optional
 
 from repro.simulator.cluster import Cluster
 from repro.simulator.job import Job

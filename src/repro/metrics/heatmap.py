@@ -13,8 +13,8 @@ SD-Policy value of a metric (slowdown, runtime, wait time) — values above
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 

@@ -8,9 +8,8 @@ malleability each day.  Jobs are assigned to the day of their submission.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List
 
-import numpy as np
 
 from repro.simulator.job import Job
 

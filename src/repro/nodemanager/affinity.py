@@ -18,7 +18,7 @@ calls it on every job start/end affecting a node.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Tuple
 
 
 @dataclass(frozen=True)

@@ -15,8 +15,8 @@ that the node manager (Listing 3) can be exercised and tested against it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Tuple
 
 
 class DromError(RuntimeError):

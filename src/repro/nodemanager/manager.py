@@ -16,7 +16,7 @@ scheduler-level CPU counts:
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List
 
 from repro.nodemanager.affinity import CoreAssignment, distribute_cpus
 from repro.nodemanager.drom import DromRegistry

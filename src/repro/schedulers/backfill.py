@@ -15,7 +15,7 @@ job fails, exactly as in Listing 1 of the paper.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.schedulers.base import Scheduler
 from repro.simulator.reservation import ReservationMap

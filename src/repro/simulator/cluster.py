@@ -8,7 +8,7 @@ nodes; CPU-level splitting within a node is decided by the node manager).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.simulator.job import Job
 from repro.simulator.node import Node, NodeAllocationError

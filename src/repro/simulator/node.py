@@ -15,7 +15,7 @@ counts and ownership.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, List, Optional
 
 
 class NodeAllocationError(RuntimeError):

@@ -9,7 +9,7 @@ ordering and O(1) membership checks.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.simulator.job import Job
 

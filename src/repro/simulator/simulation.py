@@ -20,7 +20,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.metrics.streaming import StreamingMetrics
 from repro.simulator.cluster import Cluster
-from repro.simulator.engine import Event, EventQueue, EventType
+from repro.simulator.engine import EventQueue, EventType
 from repro.simulator.job import Job, JobState
 from repro.simulator.pending_queue import PendingQueue
 from repro.simulator.reservation import ReservationMap

@@ -234,6 +234,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     try:
         server.serve_forever()
+    # repro: allow[exc-swallow] Ctrl-C is the documented way to stop the
+    # dev server; exiting 0 on interrupt is the behaviour, not a bug
     except KeyboardInterrupt:  # pragma: no cover
         pass
     return 0

@@ -148,11 +148,10 @@ class HTTPObjectStore(ResultStore):
                 text.replace("Z", "+00:00")
             ).timestamp()
         except ValueError:
-            pass
-        try:  # some proxies emit HTTP-dates here
-            return parsedate_to_datetime(text).timestamp()
-        except (TypeError, ValueError):
-            return None
+            try:  # not ISO 8601 — some proxies emit HTTP-dates here
+                return parsedate_to_datetime(text).timestamp()
+            except (TypeError, ValueError):
+                return None  # unknown format: the entry has no usable mtime
 
     def _entries(self, prefix: str = "") -> List[Tuple[str, Optional[ObjectStat]]]:
         """One listing enumeration, metadata included.

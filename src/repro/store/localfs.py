@@ -99,6 +99,8 @@ class LocalFSStore(ResultStore):
         except BaseException as exc:
             try:
                 os.unlink(tmp_name)
+            # repro: allow[exc-swallow] best-effort tmp cleanup; the
+            # original write failure re-raises just below
             except OSError:
                 pass
             if isinstance(exc, OSError):  # ENOSPC, EACCES… keep the contract
@@ -149,8 +151,10 @@ class LocalFSStore(ResultStore):
                     continue
                 try:
                     st = path.stat()
+                # repro: allow[exc-swallow] entry vanished between iterdir
+                # and stat (concurrent prune/gc); skipping it is correct
                 except OSError:
-                    continue  # vanished between iterdir and stat
+                    continue
                 if not path.is_file():
                     continue
                 entries.append((name, ObjectStat(size=st.st_size, mtime=st.st_mtime)))
@@ -176,10 +180,14 @@ class LocalFSStore(ResultStore):
                 # mirrored in): just finish deleting the live blob.
                 try:
                     path.unlink()
+                # repro: allow[exc-swallow] delete is idempotent; a
+                # concurrently-removed blob is success, not an error
                 except FileNotFoundError:
                     pass
                 return
             os.replace(path, quarantined)
+        # repro: allow[exc-swallow] the blob is already gone — there is
+        # nothing left to quarantine and no evidence to capture
         except FileNotFoundError:
             pass
         except OSError as exc:

@@ -23,7 +23,6 @@ load rather than of the absolute job count.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Optional
 

@@ -10,13 +10,12 @@ relative job sizes, the runtime distribution, and the offered load.
 
 from __future__ import annotations
 
-import math
 from dataclasses import replace
-from typing import Callable, Optional
+from typing import Optional
 
 import numpy as np
 
-from repro.workloads.job_record import JobRecord, Workload
+from repro.workloads.job_record import Workload
 
 
 def scale_to_system(

@@ -29,9 +29,8 @@ module implements.
 
 from __future__ import annotations
 
-import io
 import os
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, TextIO, Union
+from typing import Dict, Iterator, Optional, Sequence, TextIO, Union
 
 import numpy as np
 

@@ -20,7 +20,6 @@ Real SWF files can be substituted at any time through
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Optional
 

@@ -1,0 +1,5 @@
+"""Fixture: an unparseable file — the engine must report, not crash."""
+
+
+def oops(:
+    return 1

@@ -1,0 +1,7 @@
+"""Fixture: out-of-scope code — determinism rules do not apply here."""
+
+import random
+
+
+def jitter():
+    return random.random()

@@ -1,0 +1,14 @@
+"""Fixture: det-wallclock violations (scoped as ``core/``)."""
+
+import time
+import uuid
+from datetime import datetime
+
+
+def stamp_key(prefix):
+    return f"{prefix}-{time.time()}-{uuid.uuid4()}"
+
+
+def suppressed_stamp():
+    # repro: allow[det-wallclock] fixture: demonstrates suppression
+    return datetime.now().isoformat()

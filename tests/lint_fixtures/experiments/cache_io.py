@@ -1,0 +1,17 @@
+"""Fixture: store-discipline violations (scoped as ``experiments/``)."""
+
+import pickle
+from pathlib import Path
+
+
+def load_entry(cache_dir, key):
+    blob = Path(cache_dir) / f"{key}.pkl"
+    with open(blob, "rb") as fh:
+        return pickle.load(fh)
+
+
+def suppressed_dump(manifest_path, payload):
+    # repro: allow[store-pickle] fixture: demonstrates suppression
+    data = pickle.dumps(payload)
+    # repro: allow[store-direct-io] fixture: demonstrates suppression
+    Path(manifest_path).write_bytes(data)

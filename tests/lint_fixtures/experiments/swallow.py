@@ -1,0 +1,39 @@
+"""Fixture: exception-discipline violations (scoped as ``experiments/``)."""
+
+
+def bare(fn):
+    try:
+        return fn()
+    except:
+        return None
+
+
+def quiet(fn):
+    try:
+        fn()
+    except Exception:
+        pass
+
+
+def broad(fn):
+    out = []
+    try:
+        out.append(fn())
+    except Exception as exc:
+        out.append(str(exc))
+    return out
+
+
+def reraising_is_fine(fn):
+    try:
+        return fn()
+    except Exception as exc:
+        raise RuntimeError("wrapped") from exc
+
+
+def suppressed(fn):
+    try:
+        return fn()
+    # repro: allow[exc-swallow] fixture: demonstrates suppression
+    except ValueError:
+        pass

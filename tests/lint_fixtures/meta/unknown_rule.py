@@ -1,0 +1,3 @@
+"""Fixture: a suppression naming a rule that does not exist."""
+
+VALUE = 1  # repro: allow[not-a-rule] fixture: should be reported

@@ -1,0 +1,7 @@
+"""Fixture: a working suppression that carries no justification."""
+
+import random
+
+
+def bare():
+    return random.random()  # repro: allow[det-unseeded-random]

@@ -1,0 +1,25 @@
+"""Fixture: det-unseeded-random violations (scoped as ``simulator/``)."""
+
+import random
+
+import numpy as np
+from random import shuffle
+
+
+def bad_jitter():
+    return random.random() + np.random.rand()
+
+
+def allowed_generator(seed):
+    rng = np.random.default_rng(seed)
+    return rng.random()
+
+
+def suppressed_jitter():
+    # repro: allow[det-unseeded-random] fixture: demonstrates suppression
+    return random.gauss(0.0, 1.0)
+
+
+def uses_shuffle(items):
+    shuffle(items)
+    return items

@@ -1,0 +1,4 @@
+"""Fixture: a suppression that silences nothing."""
+
+# repro: allow[det-unseeded-random] fixture: nothing to silence here
+VALUE = 1

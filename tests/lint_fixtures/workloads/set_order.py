@@ -1,0 +1,17 @@
+"""Fixture: det-set-order violations (scoped as ``workloads/``)."""
+
+
+def collect_tags(tags):
+    out = []
+    for tag in {"alpha", "beta"} | set(tags):
+        out.append(tag)
+    return out
+
+
+def sorted_is_fine(tags):
+    return [tag for tag in sorted(set(tags))]
+
+
+def suppressed_names(jobs):
+    # repro: allow[det-set-order] fixture: demonstrates suppression
+    return ",".join({job.name for job in jobs})

@@ -15,6 +15,13 @@ import pickle
 import numpy as np
 import pytest
 
+from repro.analytics.query import (
+    QueryError,
+    list_runs,
+    outcome_from_records,
+    render_stored_report,
+    run_query,
+)
 from repro.analytics.records import (
     JOB_RECORD_DTYPE,
     RECORD_SCHEMA_VERSION,
@@ -27,13 +34,6 @@ from repro.analytics.store import (
     load_run_records,
     publish_run_records,
     records_key,
-)
-from repro.analytics.query import (
-    QueryError,
-    list_runs,
-    outcome_from_records,
-    render_stored_report,
-    run_query,
 )
 from repro.experiments.executors import (
     MANIFEST_FORMAT_VERSION,

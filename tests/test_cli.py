@@ -307,3 +307,37 @@ class TestScenarioCommand:
         )
         assert main(["scenario", str(path)]) == 2
         assert "exactly one" in capsys.readouterr().err
+
+
+class TestLintCommand:
+    """`repro-sdpolicy lint` — the same engine as python -m repro.devtools.lint."""
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("VALUE = 1\n", encoding="utf-8")
+        assert main(["lint", str(target)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_violation_exits_one(self, tmp_path, capsys):
+        scoped = tmp_path / "simulator"
+        scoped.mkdir()
+        target = scoped / "bad.py"
+        target.write_text(
+            "import random\n\n\ndef f():\n    return random.random()\n",
+            encoding="utf-8",
+        )
+        assert main(["lint", str(target)]) == 1
+        assert "det-unseeded-random" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "det-wallclock" in out
+        assert "store-pickle" in out
+
+    def test_json_flag(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("VALUE = 1\n", encoding="utf-8")
+        assert main(["lint", "--json", str(target)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.simulator.engine import Event, EventQueue, EventType
+from repro.simulator.engine import EventQueue, EventType
 
 
 class TestEventQueue:

@@ -11,8 +11,6 @@ from repro.core.runtime_model import IdealRuntimeModel, runtime_increase_from_hi
 from repro.core.sd_policy import SDPolicyConfig, SDPolicyScheduler
 from repro.experiments.runner import cluster_for, run_workload
 from repro.metrics.aggregates import compute_metrics
-from repro.schedulers.backfill import BackfillScheduler
-from repro.schedulers.fcfs import FCFSScheduler
 from repro.simulator.job import JobState
 from repro.simulator.simulation import Simulation
 from repro.workloads.cirne import CirneWorkloadModel

@@ -10,7 +10,6 @@ from repro.core.penalties import DynamicAverageMaxSlowdown, StaticMaxSlowdown
 from repro.core.sd_policy import SDPolicyConfig, SDPolicyScheduler
 from repro.schedulers.backfill import BackfillScheduler
 from repro.simulator.cluster import Cluster
-from repro.simulator.job import JobState
 from repro.simulator.simulation import Simulation
 from tests.conftest import make_job
 

@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-import math
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
