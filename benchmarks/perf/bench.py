@@ -1,9 +1,9 @@
 #!/usr/bin/env python
-"""Pinned-workload performance harness (BENCH_7).
+"""Pinned-workload performance harness (BENCH_9).
 
 Measures the simulation core's throughput (jobs/sec, events/sec) and memory
 high-water mark on fixed workloads and writes the results to
-``BENCH_7.json`` so the perf trajectory is tracked next to correctness:
+``BENCH_9.json`` so the perf trajectory is tracked next to correctness:
 
 * ``swf_replay`` — the committed ``examples/sample.swf`` log tiled end to
   end and replayed in streaming mode (``retain_jobs=False``) under
@@ -19,12 +19,21 @@ high-water mark on fixed workloads and writes the results to
   the analytics layer's overhead: the sink must stay within the jobs/sec
   tolerance of the plain replay and the columnar buffer (~115 bytes/job)
   must stay inside the streaming RSS cap.
+* ``mixed_paper_scale_cell_traced`` — the same grid cell with the decision
+  trace recorder attached (informational, no pinned floor); the *plain*
+  cell's pinned floor is the disabled-telemetry overhead guard, since every
+  trace emission site is a single ``trace is not None`` check on the
+  default path.
+
+Per-run phase timers (``simulate`` / ``metrics``) ride every
+``run_workload``-path preset so the breakdown lands in ``BENCH_9.json``
+alongside the totals.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/bench.py \
         [--presets swf_replay,swf_100k,mixed_paper_scale_cell] \
-        [--out benchmarks/output/BENCH_7.json] \
+        [--out benchmarks/output/BENCH_9.json] \
         [--check --baseline benchmarks/perf/baseline.json]
 
 ``--check`` compares jobs/sec against the committed baseline and exits
@@ -59,7 +68,7 @@ from repro.workloads.presets import build_workload  # noqa: E402
 from repro.workloads.swf import read_swf  # noqa: E402
 
 SAMPLE_SWF = REPO_ROOT / "examples" / "sample.swf"
-DEFAULT_OUT = REPO_ROOT / "benchmarks" / "output" / "BENCH_7.json"
+DEFAULT_OUT = REPO_ROOT / "benchmarks" / "output" / "BENCH_9.json"
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "perf" / "baseline.json"
 
 
@@ -159,8 +168,7 @@ def preset_swf_100k() -> Dict[str, float]:
     return _swf_replay_preset(tiles=int(round(500 * _scale_factor())))
 
 
-def preset_mixed_paper_scale_cell() -> Dict[str, float]:
-    """One mixed_paper_scale grid cell: workload 1, 50/50 mix, MAXSD 10."""
+def _mixed_cell_preset(trace: bool = False) -> Dict[str, float]:
     scale = min(1.0, 0.02 * _scale_factor())
     workload = build_workload(1, scale=scale)
     rss_before = _peak_rss_kib()
@@ -173,6 +181,7 @@ def preset_mixed_paper_scale_cell() -> Dict[str, float]:
         sharing_factor=0.5,
         seed=0,
         retain_jobs=False,
+        trace=trace,
     )
     rss_after = _peak_rss_kib()
     result = run.result
@@ -188,7 +197,20 @@ def preset_mixed_paper_scale_cell() -> Dict[str, float]:
         "retain_jobs": False,
         "makespan": result.makespan,
         "avg_slowdown": run.metrics.avg_slowdown,
+        "phases": dict(run.phases),
+        "trace": trace,
+        "trace_events": len(run.trace) if run.trace is not None else 0,
     }
+
+
+def preset_mixed_paper_scale_cell() -> Dict[str, float]:
+    """One mixed_paper_scale grid cell: workload 1, 50/50 mix, MAXSD 10."""
+    return _mixed_cell_preset()
+
+
+def preset_mixed_paper_scale_cell_traced() -> Dict[str, float]:
+    """The same grid cell with the decision-trace recorder attached."""
+    return _mixed_cell_preset(trace=True)
 
 
 def preset_swf_replay_analytics() -> Dict[str, float]:
@@ -207,6 +229,7 @@ PRESETS: Dict[str, Callable[[], Dict[str, float]]] = {
     "swf_replay_analytics": preset_swf_replay_analytics,
     "swf_100k_analytics": preset_swf_100k_analytics,
     "mixed_paper_scale_cell": preset_mixed_paper_scale_cell,
+    "mixed_paper_scale_cell_traced": preset_mixed_paper_scale_cell_traced,
 }
 
 
@@ -272,7 +295,7 @@ def main(argv: List[str] | None = None) -> int:
         )
 
     payload = {
-        "bench_id": 7,
+        "bench_id": 9,
         "schema": 1,
         "timestamp": time.time(),
         "scale_factor": _scale_factor(),

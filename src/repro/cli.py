@@ -24,6 +24,8 @@ shell (installed as ``repro-sdpolicy`` or via ``python -m repro``):
 * ``query`` — aggregate persisted per-job records (``--analytics`` runs)
   across every sweep in a store, or regenerate Figures 1-3/7 and Table 1
   byte-identically from the records without re-simulating;
+* ``trace`` — inspect stored scheduler decision traces recorded by
+  ``--trace`` sweeps (``summary``, ``grep``, ``timeline``);
 * ``swf`` — inspect a Standard Workload Format file;
 * ``lint`` — the repro-lint static-analysis pass (determinism, store
   discipline, exception discipline; ``--list-rules`` prints the catalog).
@@ -90,6 +92,7 @@ from repro.store import (
     repair,
     verify,
 )
+from repro.telemetry import LOG_LEVELS, TraceError, setup_logging
 from repro.workloads.presets import build_workload
 from repro.workloads.swf import read_swf, summarize_swf
 
@@ -171,6 +174,12 @@ def _add_sweep_args(parser: argparse.ArgumentParser) -> None:
              "aggregates, for 'repro-sdpolicy query'; requires --cache-dir "
              "or --store",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record scheduler decision traces and publish them to the "
+             "store under <cache_key>-trace, for 'repro-sdpolicy trace'; "
+             "requires --cache-dir or --store",
+    )
 
 
 def _make_runner(
@@ -180,7 +189,13 @@ def _make_runner(
     if progress:
         def callback(done, total, entry):  # noqa: ANN001 - argparse-local helper
             origin = "cache" if entry.from_cache else f"{entry.wall_clock_seconds:.1f}s"
-            print(f"  [{done}/{total}] {entry.key} ({origin})", file=sys.stderr)
+            phases = getattr(entry, "phases", None)
+            detail = ""
+            if phases:
+                detail = " [" + " ".join(
+                    f"{name} {seconds:.2f}s" for name, seconds in phases.items()
+                ) + "]"
+            print(f"  [{done}/{total}] {entry.key} ({origin}){detail}", file=sys.stderr)
     cache_dir = getattr(args, "cache_dir", None)
     store = getattr(args, "store", None)
     shard = getattr(args, "shard", None)
@@ -198,6 +213,14 @@ def _make_runner(
         print(
             "error: --analytics needs a result store to publish per-job "
             "records (--cache-dir or --store)",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    trace = bool(getattr(args, "trace", False))
+    if trace and not has_store:
+        print(
+            "error: --trace needs a result store to publish decision traces "
+            "(--cache-dir or --store)",
             file=sys.stderr,
         )
         raise SystemExit(2)
@@ -233,6 +256,7 @@ def _make_runner(
         progress=callback,
         executor=executor,
         analytics=analytics,
+        trace=trace,
     )
 
 
@@ -443,12 +467,27 @@ def _open_cli_store(url: Optional[str]):
 
 
 def _cmd_store_stats(args: argparse.Namespace) -> int:
-    store = _open_cli_store(args.url)
+    from repro.telemetry import InstrumentedStore
+
+    store = InstrumentedStore(_open_cli_store(args.url))
     stats = store.stats()
     print(f"store:       {store.url}")
     print(f"blobs:       {stats.blobs} ({_human_bytes(stats.blob_bytes)})")
     print(f"manifests:   {stats.manifests} ({_human_bytes(stats.manifest_bytes)})")
     print(f"quarantined: {stats.quarantined}")
+    snapshot = store.snapshot()
+    counters = snapshot["counters"]
+    print(
+        f"requests:    {counters.get('requests', 0)} "
+        f"({_human_bytes(counters.get('bytes_read', 0))} read, "
+        f"{counters.get('retries', 0)} retries)"
+    )
+    for op, timer in snapshot["timers"].items():
+        print(
+            f"latency:     {op} p50 {timer['p50'] * 1000:.1f}ms  "
+            f"p95 {timer['p95'] * 1000:.1f}ms  p99 {timer['p99'] * 1000:.1f}ms  "
+            f"max {timer['max'] * 1000:.1f}ms  (n={timer['count']})"
+        )
     if stats.unknown_size:
         print(
             f"note: {stats.unknown_size} object(s) reported no size; "
@@ -615,6 +654,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
         )
         return 2
     try:
+        if args.phases:
+            from repro.telemetry.report import phase_report
+
+            print(phase_report(store))
+            return 0
         if args.list:
             print(list_runs(store))
             return 0
@@ -649,6 +693,42 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 2
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.store import resolve_store
+    from repro.telemetry.report import trace_grep, trace_summary, trace_timeline
+
+    if args.store and args.cache_dir:
+        print(
+            "error: --store and --cache-dir are mutually exclusive "
+            "(--cache-dir PATH is shorthand for --store file://PATH)",
+            file=sys.stderr,
+        )
+        return 2
+    store = resolve_store(args.store, args.cache_dir)
+    if store is None:
+        print(
+            "error: trace reads a result store; give --cache-dir or --store "
+            "(or set REPRO_STORE_URL)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.trace_command == "summary":
+        print(trace_summary(store, key_prefix=args.key))
+    elif args.trace_command == "grep":
+        output = trace_grep(
+            store,
+            pattern=args.pattern,
+            event=args.event,
+            job=args.job,
+            key_prefix=args.key,
+        )
+        if output:
+            print(output)
+    else:
+        print(trace_timeline(store, job=args.job, key_prefix=args.key))
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_cli.run(
         paths=args.paths,
@@ -672,6 +752,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sdpolicy",
         description="SD-Policy (ICPP 2019) reproduction: simulate, compare, regenerate figures.",
+    )
+    parser.add_argument(
+        "--log-level", choices=LOG_LEVELS, default=None,
+        help="stderr logging verbosity for repro.* loggers "
+             "(default: REPRO_LOG_LEVEL or 'warning')",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -853,6 +938,67 @@ def build_parser() -> argparse.ArgumentParser:
                             help="log every request to stderr")
     p_st_serve.set_defaults(func=_cmd_store_serve)
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="inspect stored scheduler decision traces (--trace sweeps): "
+             "summary, grep, timeline",
+    )
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+
+    def _add_trace_store_args(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--cache-dir", type=str, default=None,
+            help="result store to read, as a local cache dir ('auto' = XDG dir)",
+        )
+        sub_parser.add_argument(
+            "--store", type=str, default=None, metavar="URL",
+            help="result store to read, as a URL (file://…, memory://…, "
+                 "s3+http(s)://…); REPRO_STORE_URL applies when neither "
+                 "--store nor --cache-dir is given",
+        )
+        sub_parser.add_argument(
+            "--key", type=str, default=None, metavar="PREFIX",
+            help="only traces whose cache key starts with PREFIX",
+        )
+
+    p_tr_summary = trace_sub.add_parser(
+        "summary",
+        help="per-policy decision counts and phase-timer breakdown "
+             "(every blob envelope-verified)",
+    )
+    _add_trace_store_args(p_tr_summary)
+    p_tr_summary.set_defaults(func=_cmd_trace)
+
+    p_tr_grep = trace_sub.add_parser(
+        "grep", help="print matching raw JSONL trace events (pipe into jq)"
+    )
+    p_tr_grep.add_argument(
+        "pattern", nargs="?", default=None,
+        help="regex matched against each canonical JSON event line",
+    )
+    p_tr_grep.add_argument(
+        "--event", type=str, default=None,
+        help="only events of this type (job_submit, mate_selected, …)",
+    )
+    p_tr_grep.add_argument(
+        "--job", type=int, default=None,
+        help="only events mentioning this job id (as job, guest, or mate)",
+    )
+    _add_trace_store_args(p_tr_grep)
+    p_tr_grep.set_defaults(func=_cmd_trace)
+
+    p_tr_timeline = trace_sub.add_parser(
+        "timeline",
+        help="human chronology of a stored run; --job N answers 'why did "
+             "SD-Policy pair these two jobs'",
+    )
+    p_tr_timeline.add_argument(
+        "--job", type=int, default=None,
+        help="collapse to the decisions that touched this job id",
+    )
+    _add_trace_store_args(p_tr_timeline)
+    p_tr_timeline.set_defaults(func=_cmd_trace)
+
     p_query = sub.add_parser(
         "query",
         help="filter/group/aggregate persisted per-job records across every "
@@ -872,6 +1018,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument(
         "--list", action="store_true",
         help="list every analytics run in the store and exit",
+    )
+    p_query.add_argument(
+        "--phases", action="store_true",
+        help="print the per-run phase-timer table from stored trace "
+             "manifests (--trace sweeps) and exit",
     )
     p_query.add_argument(
         "--where", action="append", default=[], metavar="FIELD=VALUE",
@@ -923,12 +1074,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``repro-sdpolicy`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    setup_logging(args.log_level)
     try:
         return args.func(args)
-    except (ExecutorError, StoreError) as exc:
-        # Sharded-execution / result-store problems (missing cache dir, bad
-        # store URL, unreachable endpoint, incomplete or inconsistent shard
-        # manifests) are user-fixable: no traceback.
+    except BrokenPipeError:
+        # The downstream consumer (head, less, …) closed the pipe: not an
+        # error.  Point stdout at devnull so the interpreter's shutdown
+        # flush does not raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except (ExecutorError, StoreError, TraceError) as exc:
+        # Sharded-execution / result-store / stored-trace problems (missing
+        # cache dir, bad store URL, unreachable endpoint, incomplete shard
+        # manifests, no traces recorded) are user-fixable: no traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -182,12 +182,25 @@ class MateSelector:
         guest_runtime = self.estimated_guest_runtime(guest)
         kept_fraction = 1.0 - self.sharing_factor
         candidates: List[MateCandidate] = []
+        trace = getattr(sim, "trace", None)
         for mate in sim.running.values():
             if not self._is_eligible(sim, mate, guest, guest_runtime):
                 continue
             increase = self.estimation_model.mate_increase(guest_runtime, kept_fraction)
             penalty = mate_penalty(mate, increase, self.use_requested_time)
-            if not cutoff.admits(penalty):
+            admitted = cutoff.admits(penalty)
+            if trace is not None:
+                # Eligibility failures stay silent (noise); every slowdown
+                # estimate actually weighed against the cut-off is recorded.
+                trace.emit(
+                    "mate_candidate",
+                    sim.now,
+                    guest=guest.job_id,
+                    mate=mate.job_id,
+                    penalty=penalty,
+                    admitted=admitted,
+                )
+            if not admitted:
                 continue
             weight = len(mate.allocated_nodes)
             if weight <= 0:

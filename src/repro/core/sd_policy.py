@@ -178,15 +178,44 @@ class SDPolicyScheduler(BackfillScheduler):
         static_end = static_start + job.requested_time
         mall_runtime = self.selector.estimated_guest_runtime(job)
         mall_end = sim.now + mall_runtime
+        trace = sim.trace
         if static_end <= mall_end:
             self.rejected_by_estimate += 1
+            if trace is not None:
+                trace.emit(
+                    "mate_rejected",
+                    sim.now,
+                    guest=job.job_id,
+                    reason="estimate",
+                    static_end=static_end,
+                    mall_end=mall_end,
+                )
             return False
         selection = self.selector.select(sim, job, self.cutoff)
         if selection is None:
             self.rejected_no_mates += 1
+            if trace is not None:
+                trace.emit(
+                    "mate_rejected",
+                    sim.now,
+                    guest=job.job_id,
+                    reason="no_mates",
+                    static_end=static_end,
+                    mall_end=mall_end,
+                )
             return False
         self._apply_selection(sim, job, selection)
         self.malleable_starts += 1
+        if trace is not None:
+            trace.emit(
+                "mate_selected",
+                sim.now,
+                guest=job.job_id,
+                mates=[mate.job_id for mate in selection.mates],
+                penalty=selection.total_penalty,
+                free_nodes=len(selection.free_nodes_used),
+                est_runtime=selection.estimated_guest_runtime,
+            )
         return True
 
     # ------------------------------------------------------------------ #

@@ -132,6 +132,34 @@ SCHEMAS: Tuple[SchemaSpec, ...] = (
         target="repro.analytics.store:ANALYTICS_MANIFEST_FIELDS",
         version="repro.analytics.records:RECORD_SCHEMA_VERSION",
     ),
+    # Decision-trace JSONL events and their discovery manifest
+    # (repro/telemetry/trace.py).
+    SchemaSpec(
+        name="trace/event-fields",
+        kind="fields",
+        target="repro.telemetry.trace:TRACE_EVENT_FIELDS",
+        version="repro.telemetry.trace:TRACE_FORMAT_VERSION",
+    ),
+    SchemaSpec(
+        name="trace/manifest-fields",
+        kind="fields",
+        target="repro.telemetry.trace:TRACE_MANIFEST_FIELDS",
+        version="repro.telemetry.trace:TRACE_FORMAT_VERSION",
+    ),
+    # Phase-timer keys and the telemetry snapshot layout
+    # (repro/telemetry/trace.py, repro/telemetry/core.py).
+    SchemaSpec(
+        name="telemetry/phase-fields",
+        kind="fields",
+        target="repro.telemetry.trace:PHASE_FIELDS",
+        version="repro.telemetry.trace:TRACE_FORMAT_VERSION",
+    ),
+    SchemaSpec(
+        name="telemetry/snapshot-fields",
+        kind="fields",
+        target="repro.telemetry.core:TELEMETRY_SNAPSHOT_FIELDS",
+        version="repro.telemetry.core:TELEMETRY_FORMAT_VERSION",
+    ),
 )
 
 

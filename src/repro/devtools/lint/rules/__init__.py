@@ -5,11 +5,13 @@ Each module registers its rules with
 
 * :mod:`.determinism` — seeded randomness, wall-clock reads, set ordering;
 * :mod:`.store_discipline` — persistence routed through ``ResultStore``;
-* :mod:`.exceptions` — no bare or silently-swallowed exception handlers.
+* :mod:`.exceptions` — no bare or silently-swallowed exception handlers;
+* :mod:`.observability` — no bare ``print()`` outside the CLI/report layers.
 """
 
 from repro.devtools.lint.rules import (  # noqa: F401  (import-for-effect)
     determinism,
     exceptions,
+    observability,
     store_discipline,
 )

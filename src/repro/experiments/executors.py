@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import abc
 import hashlib
+import logging
 import multiprocessing
 import os
 import re
@@ -58,6 +59,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
     from repro.experiments.runner import PolicyRun
     from repro.experiments.sweep import SweepTask
 
+_log = logging.getLogger(__name__)
+
 #: Bump when the shard manifest layout changes; old manifests are rejected.
 #: v2: manifests live in the result store, records carry ``cache_key``
 #: (``cache_path`` only for local-FS stores) and the shard reports its
@@ -68,8 +71,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
 #: (top-level ``analytics`` flag; executed tasks then have per-run records
 #: published under ``analytics-*`` manifests) — merging a mix of
 #: analytics-aware and older shards would silently drop records, so the
-#: version gate forces a consistent fleet.
-MANIFEST_FORMAT_VERSION = 4
+#: version gate forces a consistent fleet.  v5: same again for decision
+#: traces — a top-level ``trace`` flag (executed tasks then have traces
+#: published under ``trace-*`` manifests next to the cache).
+MANIFEST_FORMAT_VERSION = 5
 
 #: Declared field layout of a shard manifest and of each of its ``tasks``
 #: records.  ``repro.devtools.formats`` fingerprints these into
@@ -86,6 +91,7 @@ MANIFEST_FIELDS = (
     "store",
     "cache_corruptions",
     "analytics",
+    "trace",
     "tasks",
 )
 MANIFEST_TASK_FIELDS = (
@@ -157,6 +163,7 @@ def _execute_task(task: "SweepTask") -> "PolicyRun":
         label=task.label,
         seed=task.resolved_seed(),
         analytics=getattr(task, "analytics", False),
+        trace=getattr(task, "trace", False),
         **task.kwargs,
     )
 
@@ -288,6 +295,11 @@ class ProcessPoolExecutor(Executor):
                         got_index, status, payload = future.result()
                         if status == "error":
                             message, worker_tb = payload
+                            _log.error(
+                                "worker failed on task %s: %s",
+                                plan.keys[got_index],
+                                message,
+                            )
                             raise SweepError(plan.keys[got_index], message, worker_tb)
                         run, elapsed = payload
                         plan.complete(got_index, run, elapsed)
@@ -470,9 +482,15 @@ class ShardedExecutor(Executor):
                     "analytics": any(
                         getattr(t, "analytics", False) for t in plan.tasks
                     ),
+                    # v5: whether this shard records decision traces
+                    # (published as trace-* manifests next to the cache).
+                    "trace": any(
+                        getattr(t, "trace", False) for t in plan.tasks
+                    ),
                     "tasks": [records[i] for i in owned],
                 },
             )
+            _log.debug("wrote shard manifest %s to %s", name, manifest_store.url)
 
         write_manifest()
 

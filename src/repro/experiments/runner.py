@@ -17,6 +17,7 @@ from repro.schedulers.fcfs import FCFSScheduler
 from repro.simulator.cluster import Cluster
 from repro.simulator.job import Job
 from repro.simulator.simulation import Simulation, SimulationResult
+from repro.telemetry.trace import TraceRecorder
 from repro.workloads.job_record import Workload
 
 
@@ -75,6 +76,14 @@ class PolicyRun:
     #: stripped before the run is pickled into the result cache — the
     #: records are published as their own blob.
     records: Optional[RunRecords] = None
+    #: Decision-trace recorder (``trace=True``); stripped before the run is
+    #: pickled into the result cache — the trace is published as its own
+    #: blob under ``<cache_key>-trace``.
+    trace: Optional[TraceRecorder] = None
+    #: Wall-clock phase timers of the run (``"simulate"``, ``"metrics"``),
+    #: populated unconditionally so the cached payload is byte-identical
+    #: with and without ``--trace``.
+    phases: Dict[str, float] = field(default_factory=dict)
 
     @property
     def jobs(self) -> List[Job]:
@@ -95,6 +104,7 @@ def run_workload(
     seed: int = 0,
     retain_jobs: bool = True,
     analytics: bool = False,
+    trace: bool = False,
     **policy_kwargs,
 ) -> PolicyRun:
     """Simulate a workload under a policy and return metrics.
@@ -117,6 +127,13 @@ def run_workload(
     the completion dispatch and ``PolicyRun.records`` carries one columnar
     row per job (~100 bytes each — compatible with streaming mode), from
     which every aggregate is reconstructible bit-identically.
+
+    With ``trace=True`` a :class:`repro.telemetry.TraceRecorder` rides the
+    simulation and ``PolicyRun.trace`` carries the scheduler's decision
+    events (submit/start/end, backfill holes, mate selection).  Traces are
+    byte-deterministic: only simulation-time facts are recorded, so the
+    same spec and seed yield identical bytes regardless of sharding or
+    ``retain_jobs``.
     """
     scheduler = make_scheduler(policy, **policy_kwargs)
     if power_model is _DEFAULT_POWER_MODEL:
@@ -141,6 +158,7 @@ def run_workload(
             runtime_model = get_model(runtime_model)
     cluster = cluster_for(workload)
     record_sink = JobRecordSink() if analytics else None
+    recorder = TraceRecorder() if trace else None
     sim = Simulation(
         cluster,
         scheduler,
@@ -149,6 +167,7 @@ def run_workload(
         use_requested_time_for_predictions=use_requested_time_for_predictions,
         retain_jobs=retain_jobs,
         sinks=(record_sink,) if record_sink is not None else (),
+        trace=recorder,
     )
     if hasattr(runtime_model, "bind_cluster"):
         runtime_model.bind_cluster(cluster, sim.jobs)
@@ -165,6 +184,7 @@ def run_workload(
     started = time.perf_counter()
     result = sim.run()
     elapsed = time.perf_counter() - started
+    metrics_started = time.perf_counter()
     if retain_jobs:
         metrics = compute_metrics(
             result.jobs,
@@ -176,6 +196,10 @@ def run_workload(
             energy_joules=result.energy_joules,
             first_submit=result.first_submit,
         )
+    phases = {
+        "simulate": elapsed,
+        "metrics": time.perf_counter() - metrics_started,
+    }
     stats = scheduler.stats() if hasattr(scheduler, "stats") else {}
     run_label = label or result.scheduler_name
     records: Optional[RunRecords] = None
@@ -192,6 +216,19 @@ def run_workload(
                 "num_jobs": result.num_jobs,
             },
         )
+    if recorder is not None:
+        # Simulation-time-determined identity only — wall-clock facts would
+        # break the trace blob's byte determinism.
+        recorder.meta.update(
+            {
+                "workload": workload.name,
+                "policy": policy if isinstance(policy, str) else result.scheduler_name,
+                "scheduler": result.scheduler_name,
+                "label": run_label,
+                "seed": int(seed),
+                "num_jobs": result.num_jobs,
+            }
+        )
     return PolicyRun(
         label=run_label,
         workload_name=workload.name,
@@ -200,4 +237,6 @@ def run_workload(
         wall_clock_seconds=elapsed,
         scheduler_stats=stats,
         records=records,
+        trace=recorder,
+        phases=phases,
     )

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import math
 import pickle
 import re
@@ -73,6 +74,8 @@ from repro.store import (
 )
 from repro.workloads.job_record import Workload
 
+_log = logging.getLogger(__name__)
+
 __all__ = [
     "CACHE_FORMAT_VERSION",
     "CACHE_KEY_VERSION",
@@ -102,18 +105,22 @@ __all__ = [
 #: compute_metrics is anchored at the run-level first submit.  v4:
 #: PolicyRun gained a ``records`` field (always pickled as ``None`` — the
 #: analytics records are published as their own blob, so the run payload
-#: itself is unchanged and v3 blobs stay fully readable).
-CACHE_FORMAT_VERSION = 4
+#: itself is unchanged and v3 blobs stay fully readable).  v5: PolicyRun
+#: gained ``trace`` (always pickled as ``None`` — traces are published as
+#: their own blob, like records) and ``phases`` (populated whether or not
+#: tracing is on, so a cached blob is byte-identical either way).
+CACHE_FORMAT_VERSION = 5
 
-#: Payload versions `_cache_load` accepts.  v3 runs predate the analytics
-#: layer but deserialize into a current ``PolicyRun`` unchanged (the new
-#: ``records`` field defaults to ``None`` on unpickling).
-COMPATIBLE_CACHE_FORMATS = (3, 4)
+#: Payload versions `_cache_load` accepts.  v3/v4 runs predate the
+#: analytics/telemetry layers but deserialize into a current ``PolicyRun``
+#: unchanged (the new ``records``/``trace``/``phases`` fields are absent
+#: from old pickles and read back via ``getattr`` defaults).
+COMPATIBLE_CACHE_FORMATS = (3, 4, 5)
 
-#: Version folded into :func:`task_cache_key`.  Kept at 3 through the v4
-#: payload bump *on purpose*: the key encoding did not change, so sweeps
-#: keep hitting cache entries written by pre-analytics versions.  Bump only
-#: when the key inputs themselves change meaning.
+#: Version folded into :func:`task_cache_key`.  Kept at 3 through the
+#: v4/v5 payload bumps *on purpose*: the key encoding did not change, so
+#: sweeps keep hitting cache entries written by pre-analytics/pre-telemetry
+#: versions.  Bump only when the key inputs themselves change meaning.
 CACHE_KEY_VERSION = 3
 
 #: Declared key layout of the pickled cache payload ``_cache_store``
@@ -153,6 +160,10 @@ class SweepTask:
     #: simulated run is identical either way, so an analytics sweep reuses
     #: plain cached runs (records are only published for executed tasks).
     analytics: bool = False
+    #: Record a scheduler decision trace for this task (set by the runner's
+    #: ``trace`` flag).  Like ``analytics``, *not* part of the cache key:
+    #: traces are published for executed tasks only.
+    trace: bool = False
 
     def resolved_key(self) -> str:
         return self.key or self.label or self.policy
@@ -172,6 +183,11 @@ class SweepEntry:
     run: PolicyRun
     from_cache: bool
     wall_clock_seconds: float
+    #: Phase-timer breakdown of the work this invocation actually did for
+    #: the task (``simulate`` / ``metrics`` / ``serialize`` / ``store_put``
+    #: seconds).  Empty for cache hits — no work was performed here; the
+    #: executing run's own timings stay available as ``run.phases``.
+    phases: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -358,6 +374,11 @@ class SweepRunner:
         to the store next to the cached run (see :mod:`repro.analytics`).
         Requires a store; cache hits are served as usual without
         re-publishing records.
+    trace:
+        Record a scheduler decision trace for every *executed* task and
+        publish it to the store under ``<cache_key>-trace`` (see
+        :mod:`repro.telemetry.trace`).  Requires a store; cache hits are
+        served as usual without re-publishing traces.
     """
 
     def __init__(
@@ -368,6 +389,7 @@ class SweepRunner:
         executor: Optional[Executor] = None,
         store: Optional[Union[str, ResultStore]] = None,
         analytics: bool = False,
+        trace: bool = False,
     ) -> None:
         self.max_workers = resolve_worker_count(max_workers)
         self.store = resolve_store(store, cache_dir)
@@ -379,6 +401,12 @@ class SweepRunner:
                 "(pass store=… or cache_dir=…)"
             )
         self.analytics = analytics
+        if trace and self.store is None:
+            raise ValueError(
+                "trace=True needs a result store to publish decision traces "
+                "(pass store=… or cache_dir=…)"
+            )
+        self.trace = trace
 
     @property
     def cache_dir(self) -> Optional[Path]:
@@ -438,6 +466,11 @@ class SweepRunner:
         # blob (torn write, bit rot, unpicklable garbage) — quarantined
         # below and reported distinctly as a corruption, never re-raised
         except Exception:
+            _log.warning(
+                "corrupt cache blob %s… in %s; quarantining and re-running",
+                key[:24],
+                self.store.url,
+            )
             try:
                 self.store.quarantine(key)
             # repro: allow[exc-swallow] quarantine is best-effort — the
@@ -448,16 +481,17 @@ class SweepRunner:
 
     def _cache_store(
         self, key: Optional[str], task: SweepTask, run: PolicyRun
-    ) -> Optional[str]:
-        """Publish one cache entry; returns the blob content digest."""
+    ) -> Tuple[Optional[str], Dict[str, float]]:
+        """Publish one cache entry; ``(blob digest, store-phase timings)``."""
         if key is None or self.store is None:
-            return None
+            return None, {}
         records = getattr(run, "records", None)
-        if records is not None:
-            # The records are published as their own blob (below); the run
-            # payload is pickled without them so a cached run blob stays
-            # byte-identical whether or not analytics was enabled.
-            run = replace(run, records=None)
+        recorder = getattr(run, "trace", None)
+        if records is not None or recorder is not None:
+            # Records and traces are published as their own blobs (below);
+            # the run payload is pickled without them so a cached run blob
+            # stays byte-identical whether or not analytics/trace was on.
+            run = replace(run, records=None, trace=None)
         payload = {
             "format": CACHE_FORMAT_VERSION,
             "key": task.resolved_key(),
@@ -467,6 +501,7 @@ class SweepRunner:
             "workload": task.workload.name,
             "run": run,
         }
+        phases: Dict[str, float] = {}
         # The envelope records a SHA-256 over the pickled payload, so a
         # truncated or bit-rotted blob is detected on read (`store verify`
         # re-checks at rest); stores publish atomically, so concurrent
@@ -474,19 +509,33 @@ class SweepRunner:
         # predating the envelope quarantine enveloped blobs as corrupt —
         # clients sharing a store must run the same version (the shard
         # manifest format bump enforces this for sharded fan-outs).
+        serialize_started = time.perf_counter()
         enveloped, digest = wrap_blob(
             # repro: allow[store-pickle] the cache codec itself — wrapped in
             # the integrity envelope and published through ResultStore
             pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         )
+        phases["serialize"] = time.perf_counter() - serialize_started
+        put_started = time.perf_counter()
         self.store.put(key, enveloped)
+        phases["store_put"] = time.perf_counter() - put_started
         if records is not None:
             from repro.analytics.store import publish_run_records
 
             records.meta.setdefault("task_key", task.resolved_key())
             records.meta.setdefault("kwargs", _canonical_kwargs(task.kwargs))
             publish_run_records(self.store, key, records, run_digest=digest)
-        return digest
+        if recorder is not None:
+            from repro.telemetry.trace import publish_trace
+
+            publish_trace(
+                self.store,
+                key,
+                recorder,
+                run_digest=digest,
+                phases={**(getattr(run, "phases", None) or {}), **phases},
+            )
+        return digest, phases
 
     # ------------------------------------------------------------------ #
     def run(self, tasks: Sequence[SweepTask]) -> SweepResult:
@@ -500,6 +549,11 @@ class SweepRunner:
         if self.analytics:
             tasks = [
                 task if task.analytics else replace(task, analytics=True)
+                for task in tasks
+            ]
+        if self.trace:
+            tasks = [
+                task if getattr(task, "trace", False) else replace(task, trace=True)
                 for task in tasks
             ]
         keys = [task.resolved_key() for task in tasks]
@@ -522,6 +576,7 @@ class SweepRunner:
             if was_corrupt:
                 corrupt_indices.append(index)
             if cached is not None:
+                _log.debug("cache hit for task %s", keys[index])
                 digests[index] = digest
                 entries[index] = SweepEntry(
                     key=keys[index], run=cached, from_cache=True, wall_clock_seconds=0.0
@@ -536,9 +591,18 @@ class SweepRunner:
 
         def complete(index: int, run: PolicyRun, elapsed: float) -> None:
             nonlocal done
-            digests[index] = self._cache_store(cache_keys[index], tasks[index], run)
+            digest, store_phases = self._cache_store(
+                cache_keys[index], tasks[index], run
+            )
+            digests[index] = digest
+            phases = dict(getattr(run, "phases", None) or {})
+            phases.update(store_phases)
             entry = SweepEntry(
-                key=keys[index], run=run, from_cache=False, wall_clock_seconds=elapsed
+                key=keys[index],
+                run=run,
+                from_cache=False,
+                wall_clock_seconds=elapsed,
+                phases=phases,
             )
             entries[index] = entry
             done += 1

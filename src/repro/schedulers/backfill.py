@@ -97,7 +97,9 @@ class BackfillScheduler(Scheduler):
         self.on_pass_start(sim)
         profile = sim.availability_profile()
         work_ahead = self.running_requested_work(sim)
+        trace = sim.trace
         examined = 0
+        blocked_ahead = 0  # higher-priority jobs that could not start this pass
         for job in sim.pending.ordered():
             if examined >= self.max_job_test:
                 break
@@ -109,6 +111,17 @@ class BackfillScheduler(Scheduler):
                 sim.start_job_static(job)
                 profile.add_reservation(sim.now, job.requested_time, job.requested_nodes)
                 work_ahead += job.requested_cpus * job.requested_time
+                if trace is not None and blocked_ahead:
+                    # Started out of priority order: the job slipped into a
+                    # hole ahead of blocked higher-priority jobs — backfill.
+                    trace.emit(
+                        "backfill_hole",
+                        sim.now,
+                        job=job.job_id,
+                        nodes=job.requested_nodes,
+                        ahead=blocked_ahead,
+                        est_start=est_start,
+                    )
                 continue
             # Static start not possible now: give the subclass a chance to
             # start the job through malleability.
@@ -119,3 +132,4 @@ class BackfillScheduler(Scheduler):
             if est_start != float("inf"):
                 profile.add_reservation(est_start, job.requested_time, job.requested_nodes)
             work_ahead += job.requested_cpus * job.requested_time
+            blocked_ahead += 1

@@ -201,6 +201,14 @@ class Simulation:
         retaining) to the retention sink, then to these — so an analytics
         sink observes exactly the jobs, in exactly the order, that the
         metrics fold.
+    trace:
+        Optional :class:`repro.telemetry.TraceRecorder`.  When set, the
+        driver (and the schedulers, via ``sim.trace``) emit typed decision
+        events — submit/start/end, backfill holes, mate selection,
+        reconfigurations.  ``None`` (the default) keeps the hot loop at a
+        single attribute check per potential emission site, so disabled
+        tracing costs nothing on million-job runs.  Only simulation-time
+        facts are emitted, keeping traces byte-deterministic.
     """
 
     #: Sentinel so ``power_model=None`` (disable energy accounting) stays
@@ -217,9 +225,11 @@ class Simulation:
         use_requested_time_for_predictions: bool = True,
         retain_jobs: bool = True,
         sinks: Iterable["JobSink"] = (),
+        trace=None,
     ) -> None:
         self.cluster = cluster
         self.scheduler = scheduler
+        self.trace = trace
         self.runtime_model = runtime_model or _FullAllocationSpeedModel()
         if power_model is Simulation._DEFAULT_POWER_MODEL:
             power_model = _DefaultPowerModel()
@@ -404,6 +414,15 @@ class Simulation:
         job.reconfigure(self.now, cpus, speed)
         self.running[job.job_id] = job
         self._push_end_event(job)
+        if self.trace is not None:
+            self.trace.emit(
+                "job_start",
+                self.now,
+                job=job.job_id,
+                kind="static",
+                nodes=len(nodes),
+                mates=[],
+            )
         return nodes
 
     def start_job_shared(
@@ -434,6 +453,15 @@ class Simulation:
             mate.was_mate = True
         self.running[job.job_id] = job
         self._push_end_event(job)
+        if self.trace is not None:
+            self.trace.emit(
+                "job_start",
+                self.now,
+                job=job.job_id,
+                kind="shared",
+                nodes=len(nodes),
+                mates=[m.job_id for m in mates],
+            )
         return nodes
 
     def reconfigure_job(self, job: Job, cpus_per_node: Dict[int, int]) -> None:
@@ -447,12 +475,30 @@ class Simulation:
             raise RuntimeError(f"job {job.job_id} is not running")
         if not cpus_per_node:
             raise ValueError(f"job {job.job_id}: cannot reconfigure to an empty allocation")
+        trace = self.trace
+        cpus_before = sum(job.assigned_cpus.values()) if trace is not None else 0
         self.cluster.reconfigure_allocation(job.job_id, cpus_per_node)
         self._invalidate_profile()
         job.allocated_nodes = sorted(cpus_per_node)
         speed = self.runtime_model.speed(job, cpus_per_node)
         job.reconfigure(self.now, cpus_per_node, speed)
         self._push_end_event(job)
+        if trace is not None:
+            cpus_after = sum(cpus_per_node.values())
+            if cpus_after > cpus_before:
+                direction = "grow"
+            elif cpus_after < cpus_before:
+                direction = "shrink"
+            else:
+                direction = "same"
+            trace.emit(
+                "reconfigure",
+                self.now,
+                job=job.job_id,
+                direction=direction,
+                cpus_before=cpus_before,
+                cpus_after=cpus_after,
+            )
 
     # ------------------------------------------------------------------ #
     # Event processing
@@ -470,6 +516,15 @@ class Simulation:
     def _handle_submit(self, job_id: int) -> None:
         job = self.jobs[job_id]
         self.pending.add(job)
+        if self.trace is not None:
+            self.trace.emit(
+                "job_submit",
+                self.now,
+                job=job.job_id,
+                nodes=job.requested_nodes,
+                cpus=job.requested_cpus,
+                malleable=bool(job.malleable),
+            )
         if hasattr(self.scheduler, "on_job_submit"):
             self.scheduler.on_job_submit(self, job)
 
@@ -480,6 +535,13 @@ class Simulation:
         self._invalidate_profile()
         self.running.pop(job_id, None)
         self._last_end = max(self._last_end, self.now)
+        if self.trace is not None:
+            wait = (
+                job.start_time - job.submit_time
+                if job.start_time is not None
+                else None
+            )
+            self.trace.emit("job_end", self.now, job=job.job_id, wait=wait)
         for fold in self._sink_folds:
             fold(job)
         if hasattr(self.scheduler, "on_job_end"):

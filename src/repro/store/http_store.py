@@ -24,18 +24,21 @@ beyond one page (1000 keys on real S3) enumerate completely.
 from __future__ import annotations
 
 import datetime
+import logging
 import time
 import urllib.error
 import urllib.parse
 import urllib.request
 import xml.etree.ElementTree as ET
 from email.utils import parsedate_to_datetime
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.store.base import ObjectStat, ResultStore, StoreError
 
 #: Transient failures are retried this many times with a short backoff.
 DEFAULT_RETRIES = 2
+
+_log = logging.getLogger(__name__)
 
 _SCHEMES = {"s3+http": "http", "s3+https": "https"}
 
@@ -62,6 +65,10 @@ class HTTPObjectStore(ResultStore):
         self.prefix = prefix + "/" if prefix else ""
         self.timeout = timeout
         self.retries = max(0, int(retries))
+        #: Optional observer ``(method, url, attempt)`` called before each
+        #: retry sleep — the instrumentation hook
+        #: :class:`repro.telemetry.InstrumentedStore` counts retries with.
+        self.on_retry: Optional[Callable[[str, str, int], None]] = None
 
     # ------------------------------------------------------------------ #
     def _object_url(self, name: str) -> str:
@@ -95,6 +102,16 @@ class HTTPObjectStore(ResultStore):
                 if attempt == self.retries:
                     raise StoreError(f"{method} {url} failed: {exc}") from exc
                 last_exc = exc
+            _log.warning(
+                "retrying %s %s (attempt %d/%d): %s",
+                method,
+                url,
+                attempt + 1,
+                self.retries,
+                last_exc,
+            )
+            if self.on_retry is not None:
+                self.on_retry(method, url, attempt)
             time.sleep(0.1 * (attempt + 1))
         raise StoreError(f"{method} {url} failed: {last_exc}")  # pragma: no cover
 

@@ -1,0 +1,79 @@
+"""Request-level instrumentation for any :class:`ResultStore` backend.
+
+:class:`InstrumentedStore` wraps a concrete store and re-implements the
+five object-name primitives (plus the bulk ``_entries``) as counted,
+timed delegations into the wrapped backend; the typed public API it
+inherits from :class:`ResultStore` then routes every blob/manifest
+operation through the counters for free.  On backends with a retry loop
+(:class:`~repro.store.http_store.HTTPObjectStore`), the wrapper hooks
+``on_retry`` so transient-failure retries are counted too.
+
+The wrapper is intentionally *not* used on the sweep hot path — it exists
+for diagnostics surfaces (``store stats``, tests, benchmarks) where the
+question is "how many round-trips and how slow", and wrapping there keeps
+``isinstance`` checks against concrete backends elsewhere intact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.store.base import ObjectStat, ResultStore
+from repro.telemetry.core import Telemetry
+
+__all__ = ["InstrumentedStore"]
+
+
+class InstrumentedStore(ResultStore):
+    """Counts requests, bytes, retries, and latency per store operation."""
+
+    def __init__(self, inner: ResultStore, telemetry: Optional[Telemetry] = None) -> None:
+        self.inner = inner
+        self.url = inner.url
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        # HTTPObjectStore exposes a retry hook; other backends never retry.
+        if hasattr(inner, "on_retry"):
+            inner.on_retry = self._record_retry
+
+    def _record_retry(self, method: str, url: str, attempt: int) -> None:
+        self.telemetry.count("retries")
+
+    # ------------------------------------------------------------------ #
+    def _read(self, name: str) -> Optional[bytes]:
+        self.telemetry.count("requests")
+        with self.telemetry.time("read"):
+            data = self.inner._read(name)
+        if data is not None:
+            self.telemetry.count("bytes_read", len(data))
+        return data
+
+    def _write(self, name: str, data: bytes) -> None:
+        self.telemetry.count("requests")
+        self.telemetry.count("bytes_written", len(data))
+        with self.telemetry.time("write"):
+            self.inner._write(name, data)
+
+    def _delete(self, name: str) -> bool:
+        self.telemetry.count("requests")
+        with self.telemetry.time("delete"):
+            return self.inner._delete(name)
+
+    def _names(self, prefix: str = "") -> List[str]:
+        self.telemetry.count("requests")
+        with self.telemetry.time("list"):
+            return self.inner._names(prefix)
+
+    def _stat(self, name: str) -> Optional[ObjectStat]:
+        self.telemetry.count("requests")
+        with self.telemetry.time("stat"):
+            return self.inner._stat(name)
+
+    def _entries(self, prefix: str = "") -> List[Tuple[str, Optional[ObjectStat]]]:
+        self.telemetry.count("requests")
+        with self.telemetry.time("list"):
+            return self.inner._entries(prefix)
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, Dict]:
+        """The wrapped traffic so far (:meth:`Telemetry.snapshot`)."""
+        return self.telemetry.snapshot()

@@ -1,0 +1,54 @@
+"""Stdlib ``logging`` wiring for the CLI and library modules.
+
+Library code logs through per-module loggers (``logging.getLogger(
+__name__)``) under the ``repro`` namespace and never configures handlers
+itself; :func:`setup_logging` — called once by the CLI entry point —
+attaches a single stderr handler to the ``repro`` root so diagnostics
+never contaminate stdout (report output is diffed byte-for-byte in CI).
+
+Precedence: an explicit ``--log-level`` beats the ``REPRO_LOG_LEVEL``
+environment variable beats the default (``warning``).  Unknown level
+names raise ``ValueError`` so a typo fails loudly instead of silencing
+the logs.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional
+
+__all__ = ["ENV_LOG_LEVEL", "LOG_LEVELS", "setup_logging"]
+
+#: Environment variable consulted when ``--log-level`` is not given.
+ENV_LOG_LEVEL = "REPRO_LOG_LEVEL"
+
+#: Accepted level names, lowercase.
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+
+def setup_logging(level: Optional[str] = None) -> int:
+    """Configure the ``repro`` logger tree; returns the numeric level.
+
+    Idempotent: reconfiguring replaces the previous handler rather than
+    stacking duplicates (the CLI main() is re-entrant in tests).
+    """
+    chosen = level or os.environ.get(ENV_LOG_LEVEL) or "warning"
+    chosen = chosen.strip().lower()
+    if chosen not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {chosen!r}; expected one of {', '.join(LOG_LEVELS)}"
+        )
+    numeric = getattr(logging, chosen.upper())
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    root.addHandler(handler)
+    root.setLevel(numeric)
+    root.propagate = False
+    return numeric

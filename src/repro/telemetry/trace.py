@@ -1,0 +1,252 @@
+"""Structured scheduler decision traces, stored like any other artifact.
+
+A trace is a JSONL document: one header line followed by one line per
+decision event, each a canonical JSON object (sorted keys, no whitespace,
+non-finite floats mapped to the string tokens ``"inf"``/``"-inf"``/
+``"nan"``).  Canonical encoding plus the rule that **only simulation-time
+facts go into the blob** (wall-clock phase timings live in the trace
+manifest) makes a trace byte-deterministic: the same spec and seed yield
+the identical blob from serial, sharded, and ``retain_jobs=False`` runs.
+
+Storage mirrors :mod:`repro.analytics.store`: the blob rides the run's
+store under ``<cache_key>-trace`` inside the standard integrity envelope,
+and a small ``trace-<cache_key[:24]>`` manifest provides discovery for the
+``repro-sdpolicy trace`` CLI plus gc pinning — its ``"tasks"`` list names
+both the run blob and the trace blob so
+:func:`repro.store.lifecycle.collect_references` keeps them alive.  The
+cached run blob stays byte-identical with or without ``--trace``; the
+trace pointer lives only in this manifest, so tracing never splits or
+invalidates the run cache.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.store import ResultStore, unwrap_blob, wrap_blob
+from repro.store.lifecycle import BlobIntegrityError
+
+__all__ = [
+    "PHASE_FIELDS",
+    "TRACE_EVENT_FIELDS",
+    "TRACE_FORMAT_VERSION",
+    "TRACE_MANIFEST_FIELDS",
+    "TRACE_MANIFEST_PREFIX",
+    "TraceError",
+    "TraceRecorder",
+    "iter_trace_manifests",
+    "load_trace",
+    "parse_trace",
+    "publish_trace",
+    "trace_key",
+    "trace_manifest_name",
+]
+
+#: Version of the trace blob + manifest layout (bump on shape changes).
+TRACE_FORMAT_VERSION = 1
+
+#: Manifest-name namespace of the trace layer.
+TRACE_MANIFEST_PREFIX = "trace-"
+
+#: Blob-key suffix of a run's serialized trace.
+_TRACE_KEY_SUFFIX = "-trace"
+
+#: Declared event vocabulary, ``"<event>:<field,field,…>"`` per entry.
+#: ``repro.devtools.formats`` fingerprints this into ``formats.lock``:
+#: changing an event's shape without bumping :data:`TRACE_FORMAT_VERSION`
+#: fails CI.  Every event also carries ``event`` and ``t`` (sim time).
+TRACE_EVENT_FIELDS = (
+    "job_submit:job,nodes,cpus,malleable",
+    "job_start:job,kind,nodes,mates",
+    "job_end:job,wait",
+    "backfill_hole:job,nodes,ahead,est_start",
+    "mate_candidate:guest,mate,penalty,admitted",
+    "mate_rejected:guest,reason,static_end,mall_end",
+    "mate_selected:guest,mates,penalty,free_nodes,est_runtime",
+    "reconfigure:job,direction,cpus_before,cpus_after",
+)
+
+#: Declared key layout of a trace manifest (:func:`publish_trace`).
+TRACE_MANIFEST_FIELDS = (
+    "kind",
+    "schema",
+    "cache_key",
+    "trace_key",
+    "trace_digest",
+    "events",
+    "counts",
+    "meta",
+    "phases",
+    "tasks",
+)
+
+#: Phase-timer names surfaced in ``SweepEntry.phases`` / trace manifests,
+#: in pipeline order: simulate → metrics fold → cache serialize → store put.
+PHASE_FIELDS = ("simulate", "metrics", "serialize", "store_put")
+
+
+class TraceError(RuntimeError):
+    """A trace blob or trace manifest is missing or unreadable."""
+
+
+def trace_key(cache_key: str) -> str:
+    """Store key of the trace blob belonging to a cached run."""
+    return cache_key + _TRACE_KEY_SUFFIX
+
+
+def trace_manifest_name(cache_key: str) -> str:
+    """Deterministic manifest name for a run's trace entry."""
+    return TRACE_MANIFEST_PREFIX + cache_key[:24]
+
+
+def _json_safe(value: Any) -> Any:
+    """Map non-finite floats to string tokens; leave everything else alone.
+
+    ``est_start``/``static_end`` are legitimately ``inf`` for jobs with no
+    reservation horizon; raw JSON has no spelling for them and ad-hoc ones
+    (``Infinity``) are not portable, so they become explicit tokens.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return "nan"
+        return "inf" if value > 0 else "-inf"
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _json_safe(item) for key, item in value.items()}
+    return value
+
+
+def _canonical_line(record: Dict[str, Any]) -> str:
+    return json.dumps(
+        _json_safe(record), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+class TraceRecorder:
+    """Accumulates decision events as canonical JSONL lines.
+
+    Plain lists/dicts of primitives only — recorders cross the process
+    boundary from sweep workers back to the parent via pickle.
+    """
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.counts: Dict[str, int] = {}
+        #: Run identity (workload/policy/label/seed) stamped by the runner;
+        #: simulation-time determined, so it is safe inside the blob header.
+        self.meta: Dict[str, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self.lines)
+
+    def emit(self, event: str, t: float, **fields: Any) -> None:
+        record: Dict[str, Any] = {"event": event, "t": t}
+        record.update(fields)
+        self.lines.append(_canonical_line(record))
+        self.counts[event] = self.counts.get(event, 0) + 1
+
+    def to_bytes(self) -> bytes:
+        header = _canonical_line(
+            {
+                "event": "trace_header",
+                "format": TRACE_FORMAT_VERSION,
+                "meta": self.meta,
+            }
+        )
+        return "\n".join([header] + self.lines).encode("utf-8") + b"\n"
+
+
+def parse_trace(payload: bytes) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Split a trace blob into its header meta and decoded event records."""
+    lines = payload.decode("utf-8").splitlines()
+    if not lines:
+        raise TraceError("trace blob is empty")
+    try:
+        header = json.loads(lines[0])
+        events = [json.loads(line) for line in lines[1:] if line]
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"trace blob is not valid JSONL: {exc}") from exc
+    if header.get("event") != "trace_header":
+        raise TraceError("trace blob does not start with a trace_header line")
+    if header.get("format") != TRACE_FORMAT_VERSION:
+        raise TraceError(
+            f"trace format {header.get('format')!r} is not supported "
+            f"(expected {TRACE_FORMAT_VERSION})"
+        )
+    return header.get("meta") or {}, events
+
+
+def publish_trace(
+    store: ResultStore,
+    cache_key: str,
+    recorder: TraceRecorder,
+    run_digest: Optional[str] = None,
+    phases: Optional[Dict[str, float]] = None,
+) -> str:
+    """Publish one run's trace blob + trace manifest; returns the digest."""
+    key = trace_key(cache_key)
+    enveloped, digest = wrap_blob(recorder.to_bytes())
+    store.put(key, enveloped)
+    run_ref: Dict[str, Any] = {"cache_key": cache_key}
+    if run_digest:
+        run_ref["digest"] = run_digest
+    manifest = {
+        "kind": "trace",
+        "schema": TRACE_FORMAT_VERSION,
+        "cache_key": cache_key,
+        "trace_key": key,
+        "trace_digest": digest,
+        "events": len(recorder),
+        "counts": dict(sorted(recorder.counts.items())),
+        "meta": dict(recorder.meta),
+        # Wall-clock phase timings stay out of the blob so the blob is
+        # byte-deterministic; the manifest is the nondeterministic side.
+        "phases": dict(phases or {}),
+        # gc pinning: collect_references keeps every "cache_key" listed
+        # under "tasks", covering both the run blob and the trace blob.
+        "tasks": [run_ref, {"cache_key": key, "digest": digest}],
+    }
+    store.write_manifest(trace_manifest_name(cache_key), manifest)
+    return digest
+
+
+def load_trace(
+    store: ResultStore, cache_key: str
+) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Load + verify one run's trace; ``(meta, events)``.
+
+    :class:`TraceError` if absent, unreadable, or failing its integrity
+    envelope (``store verify`` quarantines the corrupt blob).
+    """
+    data = store.get(trace_key(cache_key))
+    if data is None:
+        raise TraceError(
+            f"no decision trace for cache key {cache_key[:24]}… — the run was "
+            "executed without --trace (or served from a pre-trace cache "
+            "entry); re-run the sweep with --trace to record one"
+        )
+    try:
+        payload, _digest = unwrap_blob(data)
+    except BlobIntegrityError as exc:
+        raise TraceError(
+            f"decision trace for cache key {cache_key[:24]}… fails its "
+            f"integrity envelope ({exc}); run 'store verify' to quarantine it, "
+            "then re-run the sweep with --trace"
+        ) from exc
+    return parse_trace(payload)
+
+
+def iter_trace_manifests(
+    store: ResultStore,
+) -> Iterator[Tuple[str, Dict[str, Any]]]:
+    """Yield ``(manifest_name, payload)`` for every trace manifest."""
+    for name in store.list_manifests(TRACE_MANIFEST_PREFIX):
+        manifest = store.read_manifest(name)
+        if manifest is None or manifest.get("kind") != "trace":
+            continue
+        if manifest.get("schema") != TRACE_FORMAT_VERSION:
+            continue
+        yield name, manifest

@@ -1,0 +1,18 @@
+"""Fixture: obs-print violations (scoped as ``simulator/``)."""
+
+import logging
+
+_log = logging.getLogger(__name__)
+
+
+def report_progress(done, total):
+    print(f"progress {done}/{total}")
+
+
+def logging_is_fine(done, total):
+    _log.info("progress %d/%d", done, total)
+
+
+def suppressed_banner():
+    # repro: allow[obs-print] fixture: demonstrates suppression
+    print("starting up")

@@ -183,11 +183,11 @@ class TestFormatCompatibility:
     still load (and merge into new sweeps) as ordinary cache hits."""
 
     def test_version_constants(self):
-        assert CACHE_FORMAT_VERSION == 4
+        assert CACHE_FORMAT_VERSION == 5
         assert CACHE_KEY_VERSION == 3  # key encoding unchanged: old blobs resolve
         assert 3 in COMPATIBLE_CACHE_FORMATS
         assert CACHE_FORMAT_VERSION in COMPATIBLE_CACHE_FORMATS
-        assert MANIFEST_FORMAT_VERSION == 4
+        assert MANIFEST_FORMAT_VERSION == 5
 
     def test_pre_analytics_blob_still_hits(self, workload):
         task = SweepTask(workload=workload, policy="static_backfill",

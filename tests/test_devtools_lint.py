@@ -103,6 +103,29 @@ class TestExceptionRules:
         assert "exc-swallow" in suppressed_rules(report)
 
 
+class TestObservabilityRules:
+    def test_bare_print_fires(self):
+        report = fixture_report("simulator/obs_print.py")
+        assert rules_at(report, "obs-print") == [(9, 5)]
+
+    def test_logging_not_flagged(self):
+        report = fixture_report("simulator/obs_print.py")
+        assert not any(12 <= f.line <= 13 for f in report.findings)
+
+    def test_print_suppressed(self):
+        report = fixture_report("simulator/obs_print.py")
+        assert "obs-print" in suppressed_rules(report)
+
+    def test_cli_and_renderers_exempt(self):
+        # The real CLI drivers print by design; the rule must stay silent
+        # there even though they are full of bare print() calls.
+        report = lint_paths(
+            [str(REPO_ROOT / "src" / "repro" / "cli.py")],
+            only_rules=["obs-print"],
+        )
+        assert report.ok
+
+
 # --------------------------------------------------------------------- #
 # Meta rules (suppression hygiene, parse failures)
 # --------------------------------------------------------------------- #

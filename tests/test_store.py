@@ -101,12 +101,13 @@ def golden(tasks):
 
 
 def _run_bytes(result):
-    """Canonical pickle bytes per run, with the one legitimately
-    non-deterministic field (the run's own wall-clock timing) zeroed."""
+    """Canonical pickle bytes per run, with the legitimately
+    non-deterministic fields (the run's own wall-clock timings) zeroed."""
     out = {}
     for entry in result.entries:
         clone = pickle.loads(pickle.dumps(entry.run))
         clone.wall_clock_seconds = 0.0
+        clone.phases = {}
         out[entry.key] = pickle.dumps(clone)
     return out
 
