@@ -1,9 +1,9 @@
 #!/usr/bin/env python
-"""Pinned-workload performance harness (BENCH_9).
+"""Pinned-workload performance harness (BENCH_10).
 
 Measures the simulation core's throughput (jobs/sec, events/sec) and memory
 high-water mark on fixed workloads and writes the results to
-``BENCH_9.json`` so the perf trajectory is tracked next to correctness:
+``BENCH_10.json`` so the perf trajectory is tracked next to correctness:
 
 * ``swf_replay`` — the committed ``examples/sample.swf`` log tiled end to
   end and replayed in streaming mode (``retain_jobs=False``) under
@@ -19,6 +19,9 @@ high-water mark on fixed workloads and writes the results to
   the analytics layer's overhead: the sink must stay within the jobs/sec
   tolerance of the plain replay and the columnar buffer (~115 bytes/job)
   must stay inside the streaming RSS cap.
+* ``mixed_paper_scale_cell_ub`` — the same grid cell under the
+  contention-aware UB-Policy with the application-aware runtime model,
+  pinning the bandwidth-feasibility check's scheduling-time overhead.
 * ``mixed_paper_scale_cell_traced`` — the same grid cell with the decision
   trace recorder attached (informational, no pinned floor); the *plain*
   cell's pinned floor is the disabled-telemetry overhead guard, since every
@@ -26,14 +29,14 @@ high-water mark on fixed workloads and writes the results to
   default path.
 
 Per-run phase timers (``simulate`` / ``metrics``) ride every
-``run_workload``-path preset so the breakdown lands in ``BENCH_9.json``
+``run_workload``-path preset so the breakdown lands in ``BENCH_10.json``
 alongside the totals.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf/bench.py \
         [--presets swf_replay,swf_100k,mixed_paper_scale_cell] \
-        [--out benchmarks/output/BENCH_9.json] \
+        [--out benchmarks/output/BENCH_10.json] \
         [--check --baseline benchmarks/perf/baseline.json]
 
 ``--check`` compares jobs/sec against the committed baseline and exits
@@ -68,7 +71,7 @@ from repro.workloads.presets import build_workload  # noqa: E402
 from repro.workloads.swf import read_swf  # noqa: E402
 
 SAMPLE_SWF = REPO_ROOT / "examples" / "sample.swf"
-DEFAULT_OUT = REPO_ROOT / "benchmarks" / "output" / "BENCH_9.json"
+DEFAULT_OUT = REPO_ROOT / "benchmarks" / "output" / "BENCH_10.json"
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "perf" / "baseline.json"
 
 
@@ -168,17 +171,23 @@ def preset_swf_100k() -> Dict[str, float]:
     return _swf_replay_preset(tiles=int(round(500 * _scale_factor())))
 
 
-def _mixed_cell_preset(trace: bool = False) -> Dict[str, float]:
+def _mixed_cell_preset(
+    trace: bool = False,
+    policy: str = "sd_policy",
+    runtime_model: str = "ideal",
+    profiles: str | None = None,
+) -> Dict[str, float]:
     scale = min(1.0, 0.02 * _scale_factor())
     workload = build_workload(1, scale=scale)
     rss_before = _peak_rss_kib()
     run = run_workload(
         workload,
-        policy="sd_policy",
-        runtime_model="ideal",
+        policy=policy,
+        runtime_model=runtime_model,
         malleable_fraction=0.5,
         max_slowdown=10.0,
         sharing_factor=0.5,
+        profiles=profiles,
         seed=0,
         retain_jobs=False,
         trace=trace,
@@ -208,6 +217,13 @@ def preset_mixed_paper_scale_cell() -> Dict[str, float]:
     return _mixed_cell_preset()
 
 
+def preset_mixed_paper_scale_cell_ub() -> Dict[str, float]:
+    """The same grid cell under UB-Policy + the application-aware model."""
+    return _mixed_cell_preset(
+        policy="ub_policy", runtime_model="application_aware", profiles="table2"
+    )
+
+
 def preset_mixed_paper_scale_cell_traced() -> Dict[str, float]:
     """The same grid cell with the decision-trace recorder attached."""
     return _mixed_cell_preset(trace=True)
@@ -229,6 +245,7 @@ PRESETS: Dict[str, Callable[[], Dict[str, float]]] = {
     "swf_replay_analytics": preset_swf_replay_analytics,
     "swf_100k_analytics": preset_swf_100k_analytics,
     "mixed_paper_scale_cell": preset_mixed_paper_scale_cell,
+    "mixed_paper_scale_cell_ub": preset_mixed_paper_scale_cell_ub,
     "mixed_paper_scale_cell_traced": preset_mixed_paper_scale_cell_traced,
 }
 
@@ -295,7 +312,7 @@ def main(argv: List[str] | None = None) -> int:
         )
 
     payload = {
-        "bench_id": 9,
+        "bench_id": 10,
         "schema": 1,
         "timestamp": time.time(),
         "scale_factor": _scale_factor(),

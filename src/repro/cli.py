@@ -57,6 +57,8 @@ import sys
 from typing import Optional, Sequence
 
 from repro.analysis.tables import metrics_table
+from repro.core.policy import available_policies
+from repro.core.profiles import PROFILE_SET_NAMES
 from repro.devtools.lint import cli as lint_cli
 from repro.experiments.executors import parse_shard
 from repro.experiments.paper import (
@@ -262,16 +264,18 @@ def _make_runner(
 
 def _cmd_run(args: argparse.Namespace) -> int:
     workload = _load_workload(args)
+    kwargs = {}
+    if args.policy in ("sd_policy", "ub_policy"):
+        # Only the malleable policies take the SD-Policy family knobs.
+        kwargs["max_slowdown"] = _parse_maxsd(args.maxsd)
+        kwargs["sharing_factor"] = args.sharing_factor
     run = run_workload(
         workload,
         args.policy,
         runtime_model=args.runtime_model,
         retain_jobs=args.retain_jobs,
-        max_slowdown=_parse_maxsd(args.maxsd),
-        sharing_factor=args.sharing_factor,
-    ) if args.policy.startswith("sd") else run_workload(
-        workload, args.policy, runtime_model=args.runtime_model,
-        retain_jobs=args.retain_jobs,
+        profiles=args.profiles,
+        **kwargs,
     )
     print(metrics_table({run.label: run.metrics}, title=f"{workload.name} ({len(workload)} jobs)"))
     print(f"wall-clock: {run.wall_clock_seconds:.1f}s  scheduler stats: {run.scheduler_stats}")
@@ -763,10 +767,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run one workload under one policy")
     _add_workload_args(p_run)
     p_run.add_argument("--policy", default="sd_policy",
-                       choices=["fcfs", "static_backfill", "sd_policy"])
-    p_run.add_argument("--runtime-model", default="ideal", choices=["ideal", "worst_case"])
+                       choices=list(available_policies()),
+                       help="co-scheduling policy (the registered policy family)")
+    p_run.add_argument("--runtime-model", default="ideal",
+                       choices=["ideal", "worst_case", "application_aware"])
     p_run.add_argument("--maxsd", default="dynamic", help="MAX_SLOWDOWN: number, 'inf' or 'dynamic'")
     p_run.add_argument("--sharing-factor", type=float, default=0.5)
+    p_run.add_argument(
+        "--profiles", default=None, choices=list(PROFILE_SET_NAMES),
+        help="application-profile set for profile-aware policies (UB-Policy) "
+             "and the application-aware runtime model",
+    )
     p_run.add_argument(
         "--retain-jobs", action=argparse.BooleanOptionalAction, default=True,
         help="keep per-job records (default); --no-retain-jobs streams the run "

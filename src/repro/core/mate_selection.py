@@ -39,6 +39,7 @@ from repro.core.sharing import plan_node_sharing
 from repro.simulator.job import Job, JobState
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.contention import ContentionModel
     from repro.simulator.simulation import Simulation
 
 
@@ -105,6 +106,15 @@ class MateSelector:
         subset of its nodes (extension; off by default).
     use_requested_time:
         Whether penalties use requested times (deployable) or real runtimes.
+    contention:
+        Optional :class:`repro.core.contention.ContentionModel`.  When set,
+        candidates whose pairing with the guest would oversubscribe a node's
+        memory bandwidth are rejected up front (counted in
+        ``bandwidth_rejections``), the survivors are ordered
+        complementarity-first (lowest bandwidth demand, then penalty), and
+        every per-node split is re-checked through
+        :func:`repro.core.sharing.plan_node_sharing`.  ``None`` (the
+        default) preserves the paper's penalty-only ordering byte-for-byte.
     """
 
     def __init__(
@@ -116,6 +126,7 @@ class MateSelector:
         include_free_nodes: bool = False,
         allow_partial_mates: bool = False,
         use_requested_time: bool = True,
+        contention: Optional["ContentionModel"] = None,
     ) -> None:
         if not 0.0 < sharing_factor < 1.0:
             raise ValueError("sharing_factor must be in (0, 1)")
@@ -130,6 +141,11 @@ class MateSelector:
         self.include_free_nodes = include_free_nodes
         self.allow_partial_mates = allow_partial_mates
         self.use_requested_time = use_requested_time
+        self.contention = contention
+        #: Candidates dropped by the bandwidth-capacity check during the
+        #: most recent :meth:`candidate_mates` call (0 on the default path);
+        #: schedulers read it to type their ``mate_rejected`` trace events.
+        self.bandwidth_rejections = 0
 
     # ------------------------------------------------------------------ #
     # Guest-side estimates
@@ -183,8 +199,16 @@ class MateSelector:
         kept_fraction = 1.0 - self.sharing_factor
         candidates: List[MateCandidate] = []
         trace = getattr(sim, "trace", None)
+        self.bandwidth_rejections = 0
         for mate in sim.running.values():
             if not self._is_eligible(sim, mate, guest, guest_runtime):
+                continue
+            if self.contention is not None and not self.contention.allows_pairing(
+                mate, guest
+            ):
+                # Profile-driven rejection: the pair would oversubscribe the
+                # node's memory bandwidth regardless of the CPU split.
+                self.bandwidth_rejections += 1
                 continue
             increase = self.estimation_model.mate_increase(guest_runtime, kept_fraction)
             penalty = mate_penalty(mate, increase, self.use_requested_time)
@@ -206,7 +230,21 @@ class MateSelector:
             if weight <= 0:
                 continue
             candidates.append(MateCandidate(job=mate, penalty=penalty, weight=weight))
-        candidates.sort(key=lambda c: (c.penalty, c.job.job_id))
+        if self.contention is None:
+            candidates.sort(key=lambda c: (c.penalty, c.job.job_id))
+        else:
+            # Profile-driven ordering: prefer complementary (low bandwidth
+            # demand) mates, breaking ties by the paper's penalty order.
+            contention = self.contention
+            candidates.sort(
+                key=lambda c: (
+                    contention.bandwidth_demand(
+                        contention.application(c.job.application)
+                    ),
+                    c.penalty,
+                    c.job.job_id,
+                )
+            )
         return candidates[: self.max_candidates]
 
     # ------------------------------------------------------------------ #
@@ -266,7 +304,11 @@ class MateSelector:
                 nodes = nodes[: candidate.weight - surplus_nodes]
             for nid in nodes:
                 plan = plan_node_sharing(
-                    sim.cluster.node(nid), mate, guest, self.sharing_factor
+                    sim.cluster.node(nid),
+                    mate,
+                    guest,
+                    self.sharing_factor,
+                    contention=self.contention,
                 )
                 if plan is None:
                     return None

@@ -43,6 +43,13 @@ class RuntimeModel(abc.ABC):
     #: Short name used in reports ("ideal" / "worst_case").
     name: str = "abstract"
 
+    #: Contention model consulted by contention-aware subclasses (see
+    #: :mod:`repro.core.contention`).  ``None`` — the default for the
+    #: ideal/worst-case models — is the no-contention path: speeds depend
+    #: only on the CPU allocation, never on co-runners, which keeps every
+    #: legacy golden byte-identical.
+    contention = None
+
     @abc.abstractmethod
     def speed(self, job: Job, cpus_per_node: Mapping[int, int]) -> float:
         """Relative progress rate (1.0 = static allocation) of a configuration."""
@@ -149,11 +156,41 @@ def runtime_increase_from_history(
     return max(0.0, wall - work)
 
 
+#: Canonical model names and their accepted aliases (for lookups and for
+#: the error message naming the candidates).
+MODEL_ALIASES = {
+    "ideal": ("ideal", "eq5"),
+    "worst_case": ("worst_case", "worst", "eq6"),
+    "application_aware": ("application_aware", "app_aware", "contention"),
+}
+
+
+def available_models() -> list:
+    """Sorted canonical names of the runtime models :func:`get_model` knows."""
+    return sorted(MODEL_ALIASES)
+
+
 def get_model(name: str) -> RuntimeModel:
-    """Look up a runtime model by name ("ideal" or "worst_case")."""
-    name = name.lower()
-    if name in ("ideal", "eq5"):
+    """Look up a runtime model by canonical name or alias.
+
+    Raises a ``ValueError`` (``ScenarioError``-compatible: scenario loading
+    catches it) that names every available model, so a typo in a spec or on
+    the CLI points straight at the valid choices.
+    """
+    key = name.lower()
+    if key in MODEL_ALIASES["ideal"]:
         return IdealRuntimeModel()
-    if name in ("worst_case", "worst", "eq6"):
+    if key in MODEL_ALIASES["worst_case"]:
         return WorstCaseRuntimeModel()
-    raise ValueError(f"unknown runtime model {name!r}")
+    if key in MODEL_ALIASES["application_aware"]:
+        # Local import: the contention module itself imports this one.
+        from repro.core.contention import ApplicationAwareRuntimeModel
+
+        return ApplicationAwareRuntimeModel()
+    candidates = "; ".join(
+        f"{canonical} (aliases: {', '.join(a for a in aliases if a != canonical)})"
+        for canonical, aliases in sorted(MODEL_ALIASES.items())
+    )
+    raise ValueError(
+        f"unknown runtime model {name!r}; available: {candidates}"
+    )

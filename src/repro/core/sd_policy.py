@@ -89,6 +89,10 @@ class SDPolicyConfig:
             raise ValueError(f"unknown max_slowdown spec {self.max_slowdown!r}")
         return StaticMaxSlowdown(float(self.max_slowdown))
 
+    def build_contention(self):
+        """Contention model consulted by the selector (base policy: none)."""
+        return None
+
     def build_selector(self) -> MateSelector:
         """Instantiate the mate selector described by this config."""
         return MateSelector(
@@ -99,6 +103,7 @@ class SDPolicyConfig:
             include_free_nodes=self.include_free_nodes,
             allow_partial_mates=self.allow_partial_mates,
             use_requested_time=self.use_requested_time,
+            contention=self.build_contention(),
         )
 
 
@@ -133,6 +138,16 @@ class SDPolicyScheduler(BackfillScheduler):
         # The paper refreshes the dynamic cut-off whenever the controller is
         # not busy scheduling; here that is the start of every pass.
         self.cutoff.update(sim)
+
+    def _no_selection_reason(self) -> str:
+        """Typed reason for a failed mate selection (``mate_rejected`` trace).
+
+        The base policy only knows "no mates existed"; contention-aware
+        subclasses refine this (e.g. UB-Policy reports ``"bandwidth"`` when
+        every candidate was dropped by the capacity check).  Must return a
+        member of :data:`repro.telemetry.trace.MATE_REJECTED_REASONS`.
+        """
+        return "no_mates"
 
     # ------------------------------------------------------------------ #
     # Listing 1: the malleable scheduling attempt
@@ -193,13 +208,18 @@ class SDPolicyScheduler(BackfillScheduler):
             return False
         selection = self.selector.select(sim, job, self.cutoff)
         if selection is None:
+            # The reason is resolved unconditionally so subclass counters
+            # (e.g. UB-Policy's bandwidth refusals) are trace-independent:
+            # cached payloads must be byte-identical with and without
+            # ``--trace``.
+            reason = self._no_selection_reason()
             self.rejected_no_mates += 1
             if trace is not None:
                 trace.emit(
                     "mate_rejected",
                     sim.now,
                     guest=job.job_id,
-                    reason="no_mates",
+                    reason=reason,
                     static_end=static_end,
                     mall_end=mall_end,
                 )

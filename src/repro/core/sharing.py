@@ -11,16 +11,22 @@ This module computes the concrete per-node CPU split, honouring:
 * the SharingFactor upper bound on how much is taken from the mate,
 * the mate's minimum of one CPU per MPI rank (it can never shrink below
   ``tasks_per_node``), and
-* the guest's minimum of one CPU per rank.
+* the guest's minimum of one CPU per rank,
+* and, when a :class:`repro.core.contention.ContentionModel` is supplied,
+  the node's memory-bandwidth capacity (Uberun-style: a split is infeasible
+  when the pair's combined bandwidth demand oversubscribes the node).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.simulator.job import Job
 from repro.simulator.node import Node
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.contention import ContentionModel
 
 
 @dataclass(frozen=True)
@@ -49,15 +55,23 @@ def plan_node_sharing(
     mate: Job,
     guest: Job,
     sharing_factor: float,
+    contention: Optional["ContentionModel"] = None,
 ) -> Optional[SharingPlan]:
     """Compute the CPU split of ``node`` between ``mate`` and ``guest``.
 
     Returns ``None`` when no feasible split exists (the guest cannot get at
     least one CPU per rank without pushing the mate below one CPU per rank,
-    or the mate does not actually hold CPUs on the node).
+    or the mate does not actually hold CPUs on the node).  With a
+    ``contention`` model the split must additionally fit the node's
+    memory-bandwidth capacity: a pair whose combined bandwidth demand
+    oversubscribes the node is rejected outright, independent of the CPU
+    arithmetic.  The default ``contention=None`` skips the check and is
+    byte-identical to the historical behaviour.
     """
     mate_current = node.cpus_of(mate.job_id)
     if mate_current <= 0:
+        return None
+    if contention is not None and not contention.allows_pairing(mate, guest):
         return None
     take = guest_share_of_node(node.total_cpus, sharing_factor)
     # Never take more than the mate can give while keeping one CPU per rank.

@@ -146,6 +146,26 @@ SCHEMAS: Tuple[SchemaSpec, ...] = (
         target="repro.telemetry.trace:TRACE_MANIFEST_FIELDS",
         version="repro.telemetry.trace:TRACE_FORMAT_VERSION",
     ),
+    SchemaSpec(
+        name="trace/mate-rejected-reasons",
+        kind="fields",
+        target="repro.telemetry.trace:MATE_REJECTED_REASONS",
+        version="repro.telemetry.trace:TRACE_FORMAT_VERSION",
+    ),
+    # Application profiles consumed by the contention-aware policies and
+    # the application-aware runtime model (repro/core/profiles.py).
+    SchemaSpec(
+        name="profiles/ApplicationModel",
+        kind="dataclass",
+        target="repro.core.profiles:ApplicationModel",
+        version="repro.core.profiles:PROFILE_SCHEMA_VERSION",
+    ),
+    SchemaSpec(
+        name="profiles/profile-set-names",
+        kind="fields",
+        target="repro.core.profiles:PROFILE_SET_NAMES",
+        version="repro.core.profiles:PROFILE_SCHEMA_VERSION",
+    ),
     # Phase-timer keys and the telemetry snapshot layout
     # (repro/telemetry/trace.py, repro/telemetry/core.py).
     SchemaSpec(

@@ -3,6 +3,7 @@
 Each module registers its rules with
 :func:`repro.devtools.lint.registry.register` at import time:
 
+* :mod:`.architecture` — layering constraints between subpackages;
 * :mod:`.determinism` — seeded randomness, wall-clock reads, set ordering;
 * :mod:`.store_discipline` — persistence routed through ``ResultStore``;
 * :mod:`.exceptions` — no bare or silently-swallowed exception handlers;
@@ -10,6 +11,7 @@ Each module registers its rules with
 """
 
 from repro.devtools.lint.rules import (  # noqa: F401  (import-for-effect)
+    architecture,
     determinism,
     exceptions,
     observability,

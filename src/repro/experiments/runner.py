@@ -7,13 +7,11 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.analytics.records import JobRecordSink, RunRecords
+from repro.core.policy import make_policy, policy_accepts_profiles
 from repro.core.runtime_model import RuntimeModel, WorstCaseRuntimeModel
-from repro.core.sd_policy import SDPolicyConfig, SDPolicyScheduler
 from repro.metrics.aggregates import WorkloadMetrics, compute_metrics
 from repro.metrics.energy import LinearPowerModel
-from repro.schedulers.backfill import BackfillScheduler
 from repro.schedulers.base import Scheduler
-from repro.schedulers.fcfs import FCFSScheduler
 from repro.simulator.cluster import Cluster
 from repro.simulator.job import Job
 from repro.simulator.simulation import Simulation, SimulationResult
@@ -38,22 +36,19 @@ def cluster_for(workload: Workload, sockets: int = 2) -> Cluster:
 def make_scheduler(policy: Union[str, Scheduler, Callable[[], Scheduler]], **kwargs) -> Scheduler:
     """Build a scheduler from a name, an instance, or a zero-arg factory.
 
-    Recognised names: ``"fcfs"``, ``"static_backfill"`` (or ``"backfill"``),
-    ``"sd_policy"`` (keyword arguments are forwarded to
-    :class:`repro.core.sd_policy.SDPolicyConfig`).
+    Names resolve through the co-scheduling policy registry
+    (:mod:`repro.core.policy`): ``"fcfs"``, ``"static_backfill"``
+    (``"backfill"``), ``"sd_policy"`` and ``"ub_policy"`` by default, plus
+    anything registered via :func:`repro.core.policy.register_policy`;
+    keyword arguments are forwarded to the policy's config (e.g.
+    :class:`repro.core.sd_policy.SDPolicyConfig`).  An unknown name raises
+    a ``ValueError`` listing the available policies.
     """
     if isinstance(policy, Scheduler):
         return policy
     if callable(policy) and not isinstance(policy, str):
         return policy()
-    name = policy.lower()
-    if name == "fcfs":
-        return FCFSScheduler()
-    if name in ("backfill", "static_backfill", "static"):
-        return BackfillScheduler(**kwargs)
-    if name in ("sd", "sd_policy", "sdpolicy"):
-        return SDPolicyScheduler(SDPolicyConfig(**kwargs))
-    raise ValueError(f"unknown policy {policy!r}")
+    return make_policy(policy, **kwargs)
 
 
 #: Sentinel distinguishing "use the default power model" from an explicit
@@ -100,6 +95,7 @@ def run_workload(
     power_model: Optional[LinearPowerModel] = _DEFAULT_POWER_MODEL,
     use_requested_time_for_predictions: bool = True,
     contention_coefficient: Optional[float] = None,
+    profiles: Optional[str] = None,
     label: Optional[str] = None,
     seed: int = 0,
     retain_jobs: bool = True,
@@ -112,9 +108,13 @@ def run_workload(
     Parameters mirror the knobs the paper varies: the policy (static
     backfill vs SD-Policy with a MAX_SLOWDOWN setting), the runtime model
     (ideal vs worst case, Figure 8; ``"application_aware"`` selects the
-    real-run interference model, with an optional
+    contention-aware interference model, with an optional
     ``contention_coefficient``), and the malleable fraction of the workload
-    (all-malleable in the paper's simulations).
+    (all-malleable in the paper's simulations).  ``profiles`` selects a
+    named application-profile set (:data:`repro.core.profiles.PROFILE_SETS`)
+    for profile-aware policies (UB-Policy) and the application-aware model;
+    the default ``None`` leaves both at their own defaults and keeps legacy
+    cache keys unchanged.
 
     With ``retain_jobs=False`` the run streams: jobs are materialised
     lazily, folded into aggregates at completion and discarded, so memory
@@ -135,21 +135,31 @@ def run_workload(
     same spec and seed yield identical bytes regardless of sharding or
     ``retain_jobs``.
     """
+    if (
+        profiles is not None
+        and isinstance(policy, str)
+        and policy_accepts_profiles(policy)
+    ):
+        policy_kwargs.setdefault("profiles", profiles)
     scheduler = make_scheduler(policy, **policy_kwargs)
     if power_model is _DEFAULT_POWER_MODEL:
         power_model = LinearPowerModel()
     if isinstance(runtime_model, str):
         if runtime_model == "application_aware":
-            from repro.realrun.interference import (
+            from repro.core.contention import (
                 DEFAULT_CONTENTION_COEFFICIENT,
                 ApplicationAwareRuntimeModel,
+                ContentionModel,
             )
 
             runtime_model = ApplicationAwareRuntimeModel(
-                contention_coefficient=(
-                    DEFAULT_CONTENTION_COEFFICIENT
-                    if contention_coefficient is None
-                    else contention_coefficient
+                contention=ContentionModel(
+                    contention_coefficient=(
+                        DEFAULT_CONTENTION_COEFFICIENT
+                        if contention_coefficient is None
+                        else contention_coefficient
+                    ),
+                    profiles=profiles if profiles is not None else "table2",
                 )
             )
         else:

@@ -111,6 +111,13 @@ class WorkloadRef:
     is *abstract* — valid only when :func:`run_scenario` is handed a
     pre-built workload override (the ablation benchmarks do this for their
     custom generator models).
+
+    ``applications`` optionally names an application mix to stamp onto the
+    materialised workload (``"table2"``, the paper's real-run mix), giving
+    every job an application name the contention-aware policies and the
+    application-aware runtime model can resolve against a profile set.  The
+    stamped names flow into the workload fingerprint, so refs with and
+    without a mix never share cache entries.
     """
 
     preset: Optional[int] = None
@@ -118,6 +125,7 @@ class WorkloadRef:
     scale: float = 1.0
     seed: Optional[int] = None
     name: Optional[str] = None
+    applications: Optional[str] = None
 
     def key(self) -> str:
         """Stable key identifying this ref inside the scenario."""
@@ -130,7 +138,7 @@ class WorkloadRef:
         return "workload"
 
     def build(self) -> Workload:
-        """Materialise the referenced workload."""
+        """Materialise the referenced workload (and stamp its app mix)."""
         if self.preset is not None and self.swf:
             raise ScenarioError(
                 f"workload ref {self.key()!r}: preset and swf are mutually exclusive"
@@ -138,15 +146,30 @@ class WorkloadRef:
         if self.preset is not None:
             from repro.workloads.presets import build_workload
 
-            return build_workload(self.preset, scale=self.scale, seed=self.seed)
-        if self.swf:
+            workload = build_workload(self.preset, scale=self.scale, seed=self.seed)
+        elif self.swf:
             from repro.workloads.swf import read_swf
 
-            return read_swf(self.swf)
-        raise ScenarioError(
-            f"workload ref {self.key()!r} is abstract (no preset or swf); "
-            "pass a pre-built workload to run_scenario()"
-        )
+            workload = read_swf(self.swf)
+        else:
+            raise ScenarioError(
+                f"workload ref {self.key()!r} is abstract (no preset or swf); "
+                "pass a pre-built workload to run_scenario()"
+            )
+        return self._stamp_applications(workload)
+
+    def _stamp_applications(self, workload: Workload) -> Workload:
+        """Assign the named application mix to every job, if one is set."""
+        if not self.applications:
+            return workload
+        if self.applications != "table2":
+            raise ScenarioError(
+                f"workload ref {self.key()!r}: unknown application mix "
+                f"{self.applications!r}; available: table2"
+            )
+        from repro.workloads.applications import assign_applications
+
+        return assign_applications(workload)
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {}
@@ -160,11 +183,13 @@ class WorkloadRef:
             out["seed"] = self.seed
         if self.name is not None:
             out["name"] = self.name
+        if self.applications is not None:
+            out["applications"] = self.applications
         return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadRef":
-        known = {"preset", "swf", "scale", "seed", "name"}
+        known = {"preset", "swf", "scale", "seed", "name", "applications"}
         unknown = set(data) - known
         if unknown:
             raise ScenarioError(f"unknown workload ref fields: {sorted(unknown)}")
@@ -174,6 +199,7 @@ class WorkloadRef:
             scale=float(data.get("scale", 1.0)),
             seed=data.get("seed"),
             name=data.get("name"),
+            applications=data.get("applications"),
         )
 
 
@@ -262,7 +288,7 @@ class ScenarioSpec:
     report:
         Name of the report renderer used by :func:`render_report` — one of
         ``table``, ``figures1-3``, ``heatmaps``, ``daily``,
-        ``runtime_models``, ``realrun``, ``mix``.
+        ``runtime_models``, ``realrun``, ``mix``, ``faceoff``.
     analytics:
         If true, every executed task publishes per-job records to the
         result store (requires one), queryable later with
@@ -870,6 +896,82 @@ def report_mix(outcome: ScenarioOutcome) -> str:
     )
 
 
+def report_faceoff(outcome: ScenarioOutcome) -> str:
+    """The policy face-off report: who wins where, by workload mix.
+
+    Per workload: every policy cell's normalised metrics.  Then a winners
+    table naming, per workload × metric, the policy with the lowest
+    normalised value — ties resolve to the first cell in grid order, so
+    the report is deterministic — an overall win tally, and the
+    schedulers' decision counters (where UB-Policy's bandwidth refusals
+    become visible next to SD-Policy's pairings).
+    """
+    spec = outcome.spec
+    blocks: List[str] = []
+    wins: Dict[str, int] = {}
+    winner_rows: List[List[Any]] = []
+    counter_rows: List[List[Any]] = []
+    stat_keys = (
+        "malleable_starts",
+        "rejected_by_estimate",
+        "rejected_no_mates",
+        "rejected_bandwidth",
+    )
+    for wkey, workload in outcome.workloads.items():
+        cells = [c for c in outcome.cells_for(wkey) if c.normalized is not None]
+        if not cells:
+            blocks.append(f"{wkey}: no normalised cells (incomplete run?)")
+            continue
+        rows = [
+            [c.label] + [c.normalized.get(k, float("nan")) for k in NORMALIZED_KEYS]
+            for c in cells
+        ]
+        blocks.append(
+            format_table(
+                ["policy"] + list(NORMALIZED_KEYS),
+                rows,
+                title=(
+                    f"{wkey} ({workload.name}, {len(workload)} jobs), "
+                    f"normalised to {spec.baseline_label}"
+                ),
+            )
+        )
+        row: List[Any] = [wkey]
+        for metric in NORMALIZED_KEYS:
+            # min() keeps the first of equals, and cells are in grid order,
+            # so ties break deterministically.
+            best = min(cells, key=lambda c: c.normalized.get(metric, math.inf))
+            row.append(best.label)
+            wins[best.label] = wins.get(best.label, 0) + 1
+        winner_rows.append(row)
+        for c in cells:
+            stats = c.run.scheduler_stats or {}
+            counter_rows.append(
+                [wkey, c.label] + [stats.get(k, "-") for k in stat_keys]
+            )
+    if winner_rows:
+        blocks.append(
+            format_table(
+                ["workload"] + [f"best {m}" for m in NORMALIZED_KEYS],
+                winner_rows,
+                title="Who wins where (lowest normalised value wins)",
+            )
+        )
+        tally = sorted(wins.items(), key=lambda kv: (-kv[1], kv[0]))
+        blocks.append(
+            "Overall wins: " + ", ".join(f"{label} {count}" for label, count in tally)
+        )
+    if counter_rows:
+        blocks.append(
+            format_table(
+                ["workload", "policy"] + list(stat_keys),
+                counter_rows,
+                title="Scheduler decision counters",
+            )
+        )
+    return "\n\n".join(blocks)
+
+
 REPORTS = {
     "table": report_table,
     "figures1-3": report_figures_1_to_3,
@@ -878,6 +980,7 @@ REPORTS = {
     "runtime_models": report_runtime_models,
     "realrun": report_realrun,
     "mix": report_mix,
+    "faceoff": report_faceoff,
 }
 
 
@@ -1044,6 +1147,63 @@ def _spec_mixed_paper_scale(
     )
 
 
+def _spec_policy_faceoff(
+    scale: Optional[float] = None,
+    seed: Optional[int] = None,
+    workload_ids: Sequence[int] = (1, 2, 3, 4),
+) -> ScenarioSpec:
+    """The policy face-off: every co-scheduling policy over the paper grid.
+
+    Workloads 1-4 get the Table 2 application mix stamped on, then every
+    registered first-class policy — FCFS, static backfill, SD-Policy and
+    the contention-aware UB-Policy — runs under the application-aware
+    runtime model and is normalised to its workload's static-backfill
+    baseline.  The ``faceoff`` report answers *who wins where, by workload
+    mix*, and surfaces UB-Policy's bandwidth refusals next to SD-Policy's
+    pairings.
+    """
+    return ScenarioSpec(
+        name="policy_faceoff",
+        description=(
+            "Policy face-off: FCFS vs static backfill vs SD-Policy vs "
+            "UB-Policy under the contention-aware runtime model"
+        ),
+        workloads=[
+            WorkloadRef(
+                preset=wid,
+                scale=_BENCH_SCALES[wid] if scale is None else scale,
+                seed=seed,
+                applications="table2",
+            )
+            for wid in workload_ids
+        ],
+        policy=None,
+        seed=_sim_seed(seed),
+        grid={
+            "policy": [
+                {"label": "fcfs", "value": "fcfs"},
+                {"label": "static_backfill", "value": "static_backfill"},
+                {"label": "sd_policy", "value": "sd_policy"},
+                {"label": "ub_policy", "value": "ub_policy"},
+            ]
+        },
+        base={
+            "runtime_model": "application_aware",
+            "power_model": None,
+            "profiles": "table2",
+        },
+        baseline={
+            "policy": "static_backfill",
+            "kwargs": {
+                "runtime_model": "application_aware",
+                "power_model": None,
+                "profiles": "table2",
+            },
+        },
+        report="faceoff",
+    )
+
+
 def _spec_table_2(scale: float = 1.0, seed: int = 5005) -> ScenarioSpec:
     return ScenarioSpec(
         name="table2",
@@ -1073,6 +1233,7 @@ BUILTIN_SCENARIOS: Dict[str, Any] = {
     "figure9": _spec_figure_9,
     "table2": _spec_table_2,
     "mixed_paper_scale": _spec_mixed_paper_scale,
+    "policy_faceoff": _spec_policy_faceoff,
 }
 
 

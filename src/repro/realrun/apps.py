@@ -1,107 +1,24 @@
-"""Application performance models for the real-run workload (Table 2).
+"""Application performance models — compatibility shim.
 
-Each model captures the two properties the paper identifies as the source of
-the real-run gains (Section 4.4):
-
-1. *Imperfect scalability* — applications do not scale perfectly to all 48
-   cores of a MareNostrum4 node, so giving up half of the cores costs them
-   less than half of their speed.  We model the speed at a fraction ``f`` of
-   the requested cores as ``f ** parallel_alpha`` (``alpha = 1`` is perfect
-   scaling, smaller values mean the application is increasingly limited by
-   something other than core count — typically memory bandwidth).
-2. *Resource complementarity* — memory-bound applications leave cores
-   under-utilised that a compute-bound co-runner can exploit; conversely,
-   two memory-bound applications sharing a node contend for bandwidth.  The
-   per-application ``cpu_utilization`` and ``memory_intensity`` feed the
-   interference and energy models.
-
-The concrete numbers are calibrated to the qualitative characterisation of
-Table 2 (PILS compute-bound / low memory, STREAM memory-bound / low CPU,
-CoreNeuron & NEST compute+memory intensive, Alya multi-physics) and to the
-DROM paper's observation that shrinking costs little for memory-bound codes.
+The profiles were promoted from the real-run emulator into the simulator
+core so co-scheduling policies can consult them directly; the single source
+of truth is :mod:`repro.core.profiles`.  This module re-exports the
+historical names so existing emulator code and external callers keep
+working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
-
-
-@dataclass(frozen=True)
-class ApplicationModel:
-    """Performance profile of one application of the real-run workload.
-
-    Attributes
-    ----------
-    name:
-        Application name as used in Table 2.
-    cpu_utilization:
-        Fraction of an assigned core's cycles the application actually uses
-        (drives the dynamic part of the energy model).
-    memory_intensity:
-        How strongly the application presses on the memory subsystem
-        (0 = negligible, 1 = STREAM-like saturation); drives interference.
-    memory_sensitivity:
-        How much the application *suffers* from a co-runner's memory
-        pressure (usually correlated with its own intensity).
-    parallel_alpha:
-        Exponent of the core-fraction speed model ``speed = f ** alpha``.
-        1.0 = perfectly scalable, 0 = completely insensitive to core count.
-    """
-
-    name: str
-    cpu_utilization: float
-    memory_intensity: float
-    memory_sensitivity: float
-    parallel_alpha: float
-
-    def shrink_speed(self, fraction: float) -> float:
-        """Relative speed when running on ``fraction`` of the requested cores."""
-        if fraction >= 1.0:
-            return 1.0
-        if fraction <= 0.0:
-            return 0.0
-        return fraction ** self.parallel_alpha
-
-
-#: The Table 2 applications.
-APPLICATIONS: Dict[str, ApplicationModel] = {
-    "PILS": ApplicationModel(
-        name="PILS", cpu_utilization=0.95, memory_intensity=0.10,
-        memory_sensitivity=0.10, parallel_alpha=0.95,
-    ),
-    "STREAM": ApplicationModel(
-        name="STREAM", cpu_utilization=0.40, memory_intensity=0.95,
-        memory_sensitivity=0.90, parallel_alpha=0.30,
-    ),
-    "CoreNeuron": ApplicationModel(
-        name="CoreNeuron", cpu_utilization=0.85, memory_intensity=0.55,
-        memory_sensitivity=0.50, parallel_alpha=0.80,
-    ),
-    "NEST": ApplicationModel(
-        name="NEST", cpu_utilization=0.85, memory_intensity=0.55,
-        memory_sensitivity=0.50, parallel_alpha=0.80,
-    ),
-    "Alya": ApplicationModel(
-        name="Alya", cpu_utilization=0.90, memory_intensity=0.60,
-        memory_sensitivity=0.55, parallel_alpha=0.85,
-    ),
-}
-
-#: Profile used for jobs without an application label (e.g. plain simulator
-#: workloads passed through the real-run machinery): perfectly scalable and
-#: fully CPU-bound, which reduces to the plain worst-case/ideal behaviour.
-DEFAULT_APPLICATION = ApplicationModel(
-    name="generic", cpu_utilization=1.0, memory_intensity=0.3,
-    memory_sensitivity=0.3, parallel_alpha=1.0,
+from repro.core.profiles import (
+    APPLICATIONS,
+    DEFAULT_APPLICATION,
+    ApplicationModel,
+    get_application,
 )
 
-
-def get_application(name: Optional[str]) -> ApplicationModel:
-    """Look up an application model by name (case-insensitive, with default)."""
-    if name is None:
-        return DEFAULT_APPLICATION
-    for key, model in APPLICATIONS.items():
-        if key.lower() == name.lower():
-            return model
-    return DEFAULT_APPLICATION
+__all__ = [
+    "APPLICATIONS",
+    "DEFAULT_APPLICATION",
+    "ApplicationModel",
+    "get_application",
+]

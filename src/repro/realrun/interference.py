@@ -1,101 +1,23 @@
-"""Node-sharing interference and the application-aware runtime model.
+"""Node-sharing interference — compatibility shim.
 
-When SD-Policy co-schedules two applications on one node, the node manager
-keeps them on separate sockets (Section 3.3), so the remaining interference
-is essentially memory-bandwidth contention.  :func:`co_run_slowdown` models
-that contention from the applications' memory intensity/sensitivity;
-:class:`ApplicationAwareRuntimeModel` combines it with each application's
-shrink-scaling curve to produce the speed the simulator integrates, playing
-the role that real hardware played in the paper's Section 4.4 run.
+The interference/contention model was promoted from the real-run emulator
+into the simulator core (:mod:`repro.core.contention`) so schedulers can
+consult it at decision time; this module re-exports the historical names so
+existing emulator code and external callers keep working.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional
+from repro.core.contention import (
+    DEFAULT_CONTENTION_COEFFICIENT,
+    ApplicationAwareRuntimeModel,
+    ContentionModel,
+    co_run_slowdown,
+)
 
-from repro.realrun.apps import ApplicationModel, get_application
-from repro.simulator.cluster import Cluster
-from repro.simulator.job import Job
-
-#: Strength of the memory-bandwidth contention term when two socket-isolated
-#: applications share a node.  0.15 means a fully memory-bound application
-#: co-running with another fully memory-bound application loses ~13% speed
-#: (1/1.15), in line with the socket-isolated measurements reported for DROM.
-DEFAULT_CONTENTION_COEFFICIENT = 0.15
-
-
-def co_run_slowdown(
-    app: ApplicationModel,
-    co_runner_intensities: Iterable[float],
-    contention_coefficient: float = DEFAULT_CONTENTION_COEFFICIENT,
-) -> float:
-    """Multiplicative slowdown (>= 1.0) caused by co-runners on the node.
-
-    The dominant co-runner (highest memory intensity) determines the
-    contention; the job's own sensitivity scales how much it suffers.
-    """
-    worst = 0.0
-    for intensity in co_runner_intensities:
-        worst = max(worst, intensity)
-    return 1.0 + contention_coefficient * app.memory_sensitivity * worst
-
-
-class ApplicationAwareRuntimeModel:
-    """Runtime model that honours application scaling and co-run interference.
-
-    Implements the same ``speed(job, cpus_per_node)`` protocol as the
-    ideal/worst-case models, so it can be plugged into the simulation driver
-    directly.  It needs to see the cluster to know which jobs share nodes;
-    attach it with :meth:`bind_cluster` (the emulator does this for you).
-    """
-
-    name = "application_aware"
-
-    def __init__(
-        self,
-        cluster: Optional[Cluster] = None,
-        contention_coefficient: float = DEFAULT_CONTENTION_COEFFICIENT,
-        job_lookup: Optional[Mapping[int, Job]] = None,
-    ) -> None:
-        self.cluster = cluster
-        self.contention_coefficient = contention_coefficient
-        self._job_lookup = job_lookup or {}
-
-    def bind_cluster(self, cluster: Cluster, job_lookup: Mapping[int, Job]) -> None:
-        """Attach the cluster and the job table used to resolve co-runners."""
-        self.cluster = cluster
-        self._job_lookup = job_lookup
-
-    # ------------------------------------------------------------------ #
-    def _co_runner_intensities(self, job: Job, node_ids: Iterable[int]) -> list:
-        intensities = []
-        if self.cluster is None:
-            return intensities
-        for nid in node_ids:
-            node = self.cluster.node(nid)
-            for other_id in node.jobs:
-                if other_id == job.job_id:
-                    continue
-                other = self._job_lookup.get(other_id)
-                other_app = get_application(other.application if other else None)
-                intensities.append(other_app.memory_intensity)
-        return intensities
-
-    def speed(self, job: Job, cpus_per_node: Dict[int, int]) -> float:
-        """Relative progress rate of the job under the given allocation."""
-        if not cpus_per_node:
-            return 0.0
-        app = get_application(job.application)
-        # Statically balanced multi-node applications are limited by their
-        # most-shrunk node (worst-case structure), but the per-fraction cost
-        # follows the application's own scaling curve.
-        per_node_request = job.requested_cpus / max(1, job.requested_nodes)
-        worst_fraction = min(cpus_per_node.values()) / per_node_request
-        worst_fraction = min(1.0, worst_fraction)
-        base = app.shrink_speed(worst_fraction)
-        interference = co_run_slowdown(
-            app,
-            self._co_runner_intensities(job, cpus_per_node.keys()),
-            self.contention_coefficient,
-        )
-        return max(0.0, base / interference)
+__all__ = [
+    "DEFAULT_CONTENTION_COEFFICIENT",
+    "ApplicationAwareRuntimeModel",
+    "ContentionModel",
+    "co_run_slowdown",
+]

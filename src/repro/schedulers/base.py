@@ -5,6 +5,11 @@ A scheduler is the simulator-side equivalent of the SLURM controller
 :meth:`Scheduler.schedule` once per event instant (after submissions and
 completions at that instant have been processed) and the two optional hooks
 on individual submit/end events.
+
+Malleable co-scheduling policies (SD-Policy, UB-Policy) additionally
+satisfy the :class:`repro.core.policy.CoSchedulingPolicy` protocol — this
+abstract base provides the simulator-facing half of that protocol, and the
+registry in :mod:`repro.core.policy` resolves policy names to instances.
 """
 
 from __future__ import annotations

@@ -7,9 +7,13 @@ pass over the pending queue; the scheduler starts jobs through the driver's
 allocation primitives, which also maintain each job's resource history and
 the cluster-wide energy integration.
 
-The driver is policy-agnostic.  The static backfill baseline and SD-Policy
-are plugged in through the :class:`repro.schedulers.base.Scheduler`
-interface.
+The driver is policy-agnostic.  The static backfill baseline and the
+malleable co-scheduling family (SD-Policy, UB-Policy) are plugged in
+through the :class:`repro.schedulers.base.Scheduler` interface; malleable
+execution speeds come from the attached
+:class:`repro.core.runtime_model.RuntimeModel`, whose optional
+``contention`` model (:class:`repro.core.contention.ContentionModel`)
+accounts for memory-bandwidth interference between co-scheduled jobs.
 """
 
 from __future__ import annotations

@@ -73,18 +73,25 @@ def trace_summary(store: ResultStore, key_prefix: Optional[str] = None) -> str:
         cache_key = str(manifest.get("cache_key", ""))
         meta, events = load_trace(store, cache_key)  # verifies the envelope
         counts: Dict[str, int] = {}
+        reasons: Dict[str, int] = {}
         for record in events:
             event = str(record.get("event", "?"))
             counts[event] = counts.get(event, 0) + 1
+            if event == "mate_rejected":
+                reason = str(record.get("reason", "?"))
+                reasons[reason] = reasons.get(reason, 0) + 1
         total_events += len(events)
         policy = str(meta.get("scheduler") or meta.get("policy") or "?")
         bucket = by_policy.setdefault(
-            policy, {"runs": 0, "counts": {}, "phases": {}, "labels": []}
+            policy,
+            {"runs": 0, "counts": {}, "reasons": {}, "phases": {}, "labels": []},
         )
         bucket["runs"] += 1
         bucket["labels"].append(str(meta.get("label", "")))
         for event, count in counts.items():
             bucket["counts"][event] = bucket["counts"].get(event, 0) + count
+        for reason, count in reasons.items():
+            bucket["reasons"][reason] = bucket["reasons"].get(reason, 0) + count
         for phase, seconds in (manifest.get("phases") or {}).items():
             bucket["phases"][phase] = bucket["phases"].get(phase, 0.0) + float(seconds)
     lines = [f"decision traces ({len(selected)} runs, {total_events} events)", ""]
@@ -105,6 +112,12 @@ def trace_summary(store: ResultStore, key_prefix: Optional[str] = None) -> str:
                 f"  decisions: {pairs} malleable pairings, "
                 f"{rejections} rejections, {candidates} candidates considered"
             )
+        reasons = bucket["reasons"]
+        if reasons:
+            ordered_reasons = ", ".join(
+                f"{reason} {reasons[reason]}" for reason in sorted(reasons)
+            )
+            lines.append(f"  rejected:  {ordered_reasons}")
         lines.append(f"  phases:    {_phase_line(bucket['phases'])}")
         lines.append("")
     return "\n".join(lines).rstrip()

@@ -29,6 +29,7 @@ from repro.store import ResultStore, unwrap_blob, wrap_blob
 from repro.store.lifecycle import BlobIntegrityError
 
 __all__ = [
+    "MATE_REJECTED_REASONS",
     "PHASE_FIELDS",
     "TRACE_EVENT_FIELDS",
     "TRACE_FORMAT_VERSION",
@@ -67,6 +68,15 @@ TRACE_EVENT_FIELDS = (
     "mate_selected:guest,mates,penalty,free_nodes,est_runtime",
     "reconfigure:job,direction,cpus_before,cpus_after",
 )
+
+#: Typed vocabulary of the ``mate_rejected`` ``reason`` field, also
+#: fingerprinted into ``formats.lock``: ``estimate`` (the malleable end
+#: estimate did not beat the static one), ``no_mates`` (no feasible mate
+#: combination existed), ``bandwidth`` (UB-Policy refused every candidate
+#: because the pairing would oversubscribe a node's memory bandwidth).
+#: Extending this tuple without bumping :data:`TRACE_FORMAT_VERSION` fails
+#: CI, so readers can rely on the value set per format version.
+MATE_REJECTED_REASONS = ("estimate", "no_mates", "bandwidth")
 
 #: Declared key layout of a trace manifest (:func:`publish_trace`).
 TRACE_MANIFEST_FIELDS = (

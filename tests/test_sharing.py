@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.contention import ContentionModel
 from repro.core.sharing import (
     guest_fraction_of_request,
     guest_share_of_node,
@@ -86,6 +87,73 @@ class TestPlanNodeSharing:
         node.allocate(1, 48)
         # Mate can give only 1 CPU, guest needs at least 8.
         assert plan_node_sharing(node, mate, guest, 0.5) is None
+
+
+class TestPlanNodeSharingEdges:
+    def test_zero_cpu_guest_share_infeasible(self, node):
+        # A factor small enough that the guest's share truncates to zero
+        # CPUs: with the node fully owned there is nothing to top up from,
+        # so no plan exists.
+        mate = make_job(job_id=1, nodes=1, cpus_per_node=48)
+        guest = make_job(job_id=2, nodes=1, cpus_per_node=48)
+        node.allocate(1, 48)
+        assert guest_share_of_node(48, 0.02) == 0
+        assert plan_node_sharing(node, mate, guest, 0.02) is None
+
+    def test_sharing_factor_bounds_rejected(self, node):
+        # The open interval (0, 1) is enforced at the bounds themselves.
+        mate = make_job(job_id=1, nodes=1, cpus_per_node=48)
+        guest = make_job(job_id=2, nodes=1, cpus_per_node=48)
+        node.allocate(1, 48)
+        for factor in (0.0, 1.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                plan_node_sharing(node, mate, guest, factor)
+
+
+class TestBandwidthFeasibility:
+    def test_oversubscribed_pair_rejected(self, node):
+        # STREAM + CoreNeuron demand 0.95 + 0.55 = 1.5 > 1.4 capacity.
+        mate = make_job(job_id=1, nodes=1, cpus_per_node=48, application="STREAM")
+        guest = make_job(
+            job_id=2, nodes=1, cpus_per_node=48, application="CoreNeuron"
+        )
+        node.allocate(1, 48)
+        assert plan_node_sharing(node, mate, guest, 0.5) is not None
+        assert (
+            plan_node_sharing(node, mate, guest, 0.5, contention=ContentionModel())
+            is None
+        )
+
+    def test_feasible_pair_matches_no_contention_plan(self, node):
+        # STREAM + PILS demand 0.95 + 0.10 = 1.05 <= 1.4: the plan must be
+        # identical to the historical no-contention split.
+        mate = make_job(job_id=1, nodes=1, cpus_per_node=48, application="STREAM")
+        guest = make_job(job_id=2, nodes=1, cpus_per_node=48, application="PILS")
+        node.allocate(1, 48)
+        plain = plan_node_sharing(node, mate, guest, 0.5)
+        checked = plan_node_sharing(node, mate, guest, 0.5, contention=ContentionModel())
+        assert checked == plain
+        assert checked.mate_cpus == 24 and checked.guest_cpus == 24
+
+    def test_capacity_override_admits_pair(self, node):
+        # STREAM + STREAM (1.9) fits a node with 2.0 bandwidth capacity.
+        mate = make_job(job_id=1, nodes=1, cpus_per_node=48, application="STREAM")
+        guest = make_job(job_id=2, nodes=1, cpus_per_node=48, application="STREAM")
+        node.allocate(1, 48)
+        roomy = ContentionModel(node_bandwidth_capacity=2.0)
+        assert plan_node_sharing(node, mate, guest, 0.5, contention=ContentionModel()) is None
+        assert plan_node_sharing(node, mate, guest, 0.5, contention=roomy) is not None
+
+    def test_unknown_application_uses_default_profile(self, node):
+        # Jobs with no (or unknown) application fall back to the generic
+        # profile (memory_intensity 0.3): 0.6 combined, always feasible.
+        mate = make_job(job_id=1, nodes=1, cpus_per_node=48)
+        guest = make_job(job_id=2, nodes=1, cpus_per_node=48, application="mystery")
+        node.allocate(1, 48)
+        assert (
+            plan_node_sharing(node, mate, guest, 0.5, contention=ContentionModel())
+            is not None
+        )
 
 
 class TestGuestFraction:
